@@ -1,0 +1,322 @@
+// Package culzss's root benchmark suite maps one testing.B benchmark to
+// every table and figure of the paper's evaluation (§IV), plus the §III.D
+// ablations. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Conventions: wall-clock ns/op is the host cost of running the system
+// (for the CULZSS kernels that is the cost of simulating them); the
+// paper-relevant numbers are attached as custom metrics:
+//
+//	sim-ms     simulated GTX 480 end-to-end milliseconds (GPU systems)
+//	sat-ms     the same with the device saturated (size-independent)
+//	ratio-%    compression ratio, Table II's metric
+//	speedup-x  speed-up over the serial baseline, Figure 4's metric
+//
+// The benchmark input is 256 KiB per dataset by default (set CULZSS_BENCH
+// to e.g. "4MiB" for larger runs); EXPERIMENTS.md records a full-size run.
+package culzss
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"culzss/internal/bzip2"
+	"culzss/internal/cliutil"
+	"culzss/internal/cpulzss"
+	"culzss/internal/cudasim"
+	"culzss/internal/datasets"
+	"culzss/internal/gpu"
+	"culzss/internal/lzss"
+)
+
+// benchSize returns the per-dataset input size.
+func benchSize(b *testing.B) int {
+	if s := os.Getenv("CULZSS_BENCH"); s != "" {
+		n, err := cliutil.ParseSize(s)
+		if err != nil {
+			b.Fatalf("bad CULZSS_BENCH: %v", err)
+		}
+		return n
+	}
+	return 256 << 10
+}
+
+// cpuBaseline mirrors the harness: the serial/pthread baselines share the
+// CULZSS window configuration (see internal/harness).
+var cpuBaseline = lzss.Config{Window: 128, MaxMatch: 18, MinMatch: 3}
+
+const benchSeed = 20110926
+
+// compressOnce runs one system over data, returning the compressed size
+// and, for GPU systems, the report.
+func compressOnce(b *testing.B, system string, data []byte) (int, *gpu.Report) {
+	b.Helper()
+	switch system {
+	case "SerialLZSS":
+		out, err := cpulzss.CompressSerial(data, cpulzss.Options{Config: cpuBaseline})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return len(out), nil
+	case "PthreadLZSS":
+		out, err := cpulzss.CompressParallel(data, cpulzss.Options{Config: cpuBaseline})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return len(out), nil
+	case "BZIP2":
+		out, err := bzip2.Compress(data, bzip2.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return len(out), nil
+	case "CULZSS_V1":
+		out, rep, err := gpu.CompressV1(data, gpu.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return len(out), rep
+	case "CULZSS_V2":
+		out, rep, err := gpu.CompressV2(data, gpu.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return len(out), rep
+	}
+	b.Fatalf("unknown system %q", system)
+	return 0, nil
+}
+
+var tableISystems = []string{"SerialLZSS", "PthreadLZSS", "BZIP2", "CULZSS_V1", "CULZSS_V2"}
+
+// BenchmarkTableI regenerates Table I: compression time of all five
+// systems on all five datasets.
+func BenchmarkTableI(b *testing.B) {
+	size := benchSize(b)
+	for _, ds := range datasets.All() {
+		data := ds.Gen(size, benchSeed)
+		for _, system := range tableISystems {
+			b.Run(ds.Key+"/"+system, func(b *testing.B) {
+				b.SetBytes(int64(size))
+				var rep *gpu.Report
+				for i := 0; i < b.N; i++ {
+					_, rep = compressOnce(b, system, data)
+				}
+				if rep != nil {
+					b.ReportMetric(float64(rep.SimulatedTotal())/1e6, "sim-ms")
+					b.ReportMetric(float64(rep.SaturatedTotal())/1e6, "sat-ms")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTableII regenerates Table II: compression ratios (the ratio-%
+// metric; smaller is better) for Serial, BZIP2, V1 and V2.
+func BenchmarkTableII(b *testing.B) {
+	size := benchSize(b)
+	for _, ds := range datasets.All() {
+		data := ds.Gen(size, benchSeed)
+		for _, system := range []string{"SerialLZSS", "BZIP2", "CULZSS_V1", "CULZSS_V2"} {
+			b.Run(ds.Key+"/"+system, func(b *testing.B) {
+				var comp int
+				for i := 0; i < b.N; i++ {
+					comp, _ = compressOnce(b, system, data)
+				}
+				b.ReportMetric(float64(comp)/float64(size)*100, "ratio-%")
+			})
+		}
+	}
+}
+
+// BenchmarkTableIII regenerates Table III: decompression, serial CPU vs
+// the chunk-parallel CULZSS decoder, in memory.
+func BenchmarkTableIII(b *testing.B) {
+	size := benchSize(b)
+	for _, ds := range datasets.All() {
+		data := ds.Gen(size, benchSeed)
+		serialCont, err := cpulzss.CompressSerial(data, cpulzss.Options{Config: cpuBaseline, Search: lzss.SearchHashChain})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gpuCont, _, err := gpu.CompressV1(data, gpu.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(ds.Key+"/SerialLZSS", func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if _, err := cpulzss.Decompress(serialCont, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(ds.Key+"/CULZSS", func(b *testing.B) {
+			b.SetBytes(int64(size))
+			var rep *gpu.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				if _, rep, err = gpu.Decompress(gpuCont, gpu.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rep.SimulatedTotal())/1e6, "sim-ms")
+			b.ReportMetric(float64(rep.SaturatedTotal())/1e6, "sat-ms")
+		})
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: each system's speed-up over the
+// serial LZSS baseline (speedup-x metric). The serial baseline time is
+// measured once per dataset; GPU systems use the saturated simulated time
+// as in EXPERIMENTS.md.
+func BenchmarkFigure4(b *testing.B) {
+	size := benchSize(b)
+	for _, ds := range datasets.All() {
+		data := ds.Gen(size, benchSeed)
+		serialStart := time.Now()
+		if _, err := cpulzss.CompressSerial(data, cpulzss.Options{Config: cpuBaseline}); err != nil {
+			b.Fatal(err)
+		}
+		serialTime := time.Since(serialStart)
+
+		for _, system := range []string{"PthreadLZSS", "BZIP2", "CULZSS_V1", "CULZSS_V2"} {
+			b.Run(ds.Key+"/"+system, func(b *testing.B) {
+				var basis time.Duration
+				for i := 0; i < b.N; i++ {
+					start := time.Now()
+					_, rep := compressOnce(b, system, data)
+					if rep != nil {
+						basis = rep.SaturatedTotal()
+					} else {
+						basis = time.Since(start)
+					}
+				}
+				b.ReportMetric(float64(serialTime)/float64(basis), "speedup-x")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationSharedMemory reproduces the §III.D claim that moving
+// the V1 search buffers to shared memory bought ~30%.
+func BenchmarkAblationSharedMemory(b *testing.B) {
+	data := datasets.CFiles(benchSize(b), benchSeed)
+	for _, cfgCase := range []struct {
+		name    string
+		disable bool
+	}{{"shared", false}, {"global_only", true}} {
+		b.Run(cfgCase.name, func(b *testing.B) {
+			var rep *gpu.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, rep, err = gpu.CompressV1(data, gpu.Options{DisableSharedMemory: cfgCase.disable})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rep.Launch.KernelTime)/1e6, "kernel-ms")
+		})
+	}
+}
+
+// BenchmarkAblationThreadsPerBlock sweeps the block width (paper: 128 is
+// best; 512 no longer fits V1's shared buffers).
+func BenchmarkAblationThreadsPerBlock(b *testing.B) {
+	data := datasets.CFiles(benchSize(b), benchSeed)
+	for _, tpb := range []int{32, 64, 128, 256} {
+		for _, version := range []string{"V1", "V2"} {
+			b.Run(fmt.Sprintf("%s/tpb%d", version, tpb), func(b *testing.B) {
+				var rep *gpu.Report
+				for i := 0; i < b.N; i++ {
+					var err error
+					if version == "V1" {
+						_, rep, err = gpu.CompressV1(data, gpu.Options{ThreadsPerBlock: tpb})
+					} else {
+						_, rep, err = gpu.CompressV2(data, gpu.Options{ThreadsPerBlock: tpb})
+					}
+					if err != nil {
+						b.Skipf("shape does not fit the device: %v", err)
+					}
+				}
+				b.ReportMetric(float64(rep.SaturatedTotal())/1e6, "sat-ms")
+				b.ReportMetric(rep.Launch.Occupancy*100, "occupancy-%")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationWindowSize sweeps the window (paper §III.D: wider
+// windows search longer but match better; 128 B is the sweet spot).
+func BenchmarkAblationWindowSize(b *testing.B) {
+	data := datasets.CFiles(benchSize(b), benchSeed)
+	for _, window := range []int{32, 64, 128, 256} {
+		b.Run(fmt.Sprintf("window%d", window), func(b *testing.B) {
+			cfg := lzss.CULZSSV2()
+			cfg.Window = window
+			var rep *gpu.Report
+			var comp []byte
+			for i := 0; i < b.N; i++ {
+				var err error
+				comp, rep, err = gpu.CompressV2(data, gpu.Options{Config: cfg})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rep.SaturatedTotal())/1e6, "sat-ms")
+			b.ReportMetric(float64(len(comp))/float64(len(data))*100, "ratio-%")
+		})
+	}
+}
+
+// BenchmarkAblationBankSkew shows V2's four-character thread stagger
+// against shared-memory bank conflicts on a legacy-bank device.
+func BenchmarkAblationBankSkew(b *testing.B) {
+	data := datasets.CFiles(benchSize(b), benchSeed)
+	for _, c := range []struct {
+		name        string
+		legacy, off bool
+	}{
+		{"fermi/skew_on", false, false},
+		{"fermi/skew_off", false, true},
+		{"g80/skew_on", true, false},
+		{"g80/skew_off", true, true},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			dev := cudasim.FermiGTX480()
+			dev.LegacyBankSemantics = c.legacy
+			var rep *gpu.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, rep, err = gpu.CompressV2(data, gpu.Options{Device: dev, DisableBankSkew: c.off})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rep.Launch.KernelTime)/1e6, "kernel-ms")
+			b.ReportMetric(float64(rep.Launch.SharedReplayCycles), "replay-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationSearch is the §VII future-work extension: brute-force
+// versus hash-chain matching in the serial encoder (identical output).
+func BenchmarkAblationSearch(b *testing.B) {
+	data := datasets.CFiles(benchSize(b), benchSeed)
+	for _, c := range []struct {
+		name   string
+		search lzss.Search
+	}{{"brute", lzss.SearchBrute}, {"hashchain", lzss.SearchHashChain}} {
+		b.Run(c.name, func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := lzss.EncodeBitPacked(data, lzss.Dipperstein(), c.search, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

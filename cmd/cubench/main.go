@@ -1,0 +1,157 @@
+// Command cubench regenerates the paper's evaluation: Tables I–III,
+// Figure 4, and the §III.D ablations, over the five synthetic datasets.
+//
+// Usage:
+//
+//	cubench                                    run everything at defaults
+//	cubench -size 16MiB -reps 3                the full grid, bigger input
+//	cubench -table 1 -size 8MiB                only Table I
+//	cubench -figure 4                          only Figure 4
+//	cubench -ablation shared,tpb,window        selected ablations
+//	cubench -serial-search hashchain           fast serial baseline (§VII)
+//
+// CPU rows are wall-clock on this host; CULZSS rows are the cudasim
+// GTX 480 model's simulated end-to-end times. Each GPU cell also reports
+// the saturated-device time when the grid under-fills the simulated GPU
+// (inputs below ~32 MiB do for V1). See EXPERIMENTS.md for the comparison
+// against the paper's 128 MB numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"culzss/internal/cliutil"
+	"culzss/internal/harness"
+	"culzss/internal/lzss"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cubench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cubench", flag.ContinueOnError)
+	var (
+		sizeStr      = fs.String("size", "4MiB", "bytes per dataset (e.g. 8MiB, 128MB)")
+		saturated    = fs.Bool("saturated", true, "report GPU cells at saturated-device time (see EXPERIMENTS.md)")
+		reps         = fs.Int("reps", 1, "repetitions per cell (paper used 10)")
+		seed         = fs.Int64("seed", 0, "dataset generator seed (0 = default)")
+		workers      = fs.Int("workers", 0, "pthread-version worker count (0 = GOMAXPROCS)")
+		tables       = fs.String("table", "", "comma list of tables to run: 1,2,3 (empty with no -figure/-ablation = all)")
+		figures      = fs.String("figure", "", "comma list of figures: 4")
+		ablations    = fs.String("ablation", "", "comma list: shared,tpb,window,bank,search,streams,multigpu,hybrid,autoselect,gpupost,devices,parse")
+		serialSearch = fs.String("serial-search", "brute", "serial baseline matcher: brute (paper) or hashchain (§VII)")
+		quiet        = fs.Bool("q", false, "suppress per-cell progress on stderr")
+		asCSV        = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	size, err := cliutil.ParseSize(*sizeStr)
+	if err != nil {
+		return err
+	}
+	cfg := harness.Config{Size: size, Reps: *reps, Seed: *seed, Workers: *workers, Saturated: *saturated}
+	switch strings.ToLower(*serialSearch) {
+	case "brute", "":
+		cfg.SerialSearch = lzss.SearchBrute
+	case "hashchain", "hash":
+		cfg.SerialSearch = lzss.SearchHashChain
+	default:
+		return fmt.Errorf("unknown -serial-search %q", *serialSearch)
+	}
+	if !*quiet {
+		cfg.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	}
+
+	wantAll := *tables == "" && *figures == "" && *ablations == ""
+	want := func(list, item string) bool {
+		if wantAll {
+			return true
+		}
+		for _, x := range strings.Split(list, ",") {
+			if strings.TrimSpace(x) == item {
+				return true
+			}
+		}
+		return false
+	}
+
+	start := time.Now()
+	render := func(t *harness.Table) string {
+		if *asCSV {
+			return t.CSV()
+		}
+		return t.Render()
+	}
+	if !*asCSV {
+		fmt.Fprintf(out, "CULZSS paper reproduction — %s per dataset, %d rep(s), serial matcher: %s\n\n",
+			*sizeStr, *reps, cfg.SerialSearch)
+	}
+
+	needCompressionGrid := want(*tables, "1") || want(*tables, "2") || want(*figures, "4")
+	var grid *harness.Matrix
+	if needCompressionGrid {
+		grid, err = harness.RunCompression(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	if want(*tables, "1") {
+		fmt.Fprintln(out, render(harness.TableI(grid)))
+	}
+	if want(*tables, "2") {
+		fmt.Fprintln(out, render(harness.TableII(grid)))
+	}
+	if want(*tables, "3") {
+		dm, err := harness.RunDecompression(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, render(harness.TableIII(dm)))
+	}
+	if want(*figures, "4") {
+		fmt.Fprintln(out, render(harness.Figure4(grid)))
+	}
+
+	type ablation struct {
+		key string
+		run func(harness.Config) (*harness.Table, error)
+	}
+	for _, a := range []ablation{
+		{"shared", harness.AblationSharedMemory},
+		{"tpb", harness.AblationThreadsPerBlock},
+		{"window", harness.AblationWindowSize},
+		{"bank", harness.AblationBankSkew},
+		{"search", harness.AblationSearchAlgorithm},
+		{"streams", harness.ExtensionStreams},
+		{"multigpu", harness.ExtensionMultiGPU},
+		{"hybrid", harness.ExtensionHybrid},
+		{"autoselect", harness.ExtensionAutoSelection},
+		{"gpupost", harness.ExtensionGPUPostPass},
+		{"devices", harness.ExtensionDeviceSweep},
+		{"parse", harness.ExtensionOptimalParse},
+	} {
+		if !want(*ablations, a.key) {
+			continue
+		}
+		t, err := a.run(cfg)
+		if err != nil {
+			return fmt.Errorf("ablation %s: %w", a.key, err)
+		}
+		fmt.Fprintln(out, render(t))
+	}
+
+	if !*asCSV {
+		fmt.Fprintf(out, "completed in %v\n", time.Since(start).Round(time.Second))
+	}
+	return nil
+}

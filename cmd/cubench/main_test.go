@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFullRunSmall(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-size", "64KiB", "-reps", "1", "-q", "-serial-search", "hashchain"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Table I", "Table II", "Table III", "Figure 4",
+		"shared vs global", "threads per block", "window size",
+		"bank conflicts", "search algorithm",
+		"copy/execute streams", "multiple simulated GPUs",
+		"heterogeneous CPU+GPU", "automatic version selection",
+		"C files", "Highly Compr.", "completed in",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestSelectiveRuns(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-size", "64KiB", "-q", "-serial-search", "hashchain", "-table", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Table II") {
+		t.Error("missing Table II")
+	}
+	for _, not := range []string{"Table I —", "Table III", "Figure 4", "Ablation"} {
+		if strings.Contains(s, not) {
+			t.Errorf("unexpected section %q in selective run", not)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-size", "64KiB", "-q", "-ablation", "window"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "window size") {
+		t.Error("missing window ablation")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-size", "banana"}, &out); err == nil {
+		t.Error("accepted bad size")
+	}
+	if err := run([]string{"-serial-search", "quantum"}, &out); err == nil {
+		t.Error("accepted bad matcher")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-size", "64KiB", "-q", "-csv", "-serial-search", "hashchain", "-table", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# Table II") {
+		t.Error("missing CSV title comment")
+	}
+	if !strings.Contains(s, ",Serial,BZIP2,V1,V2") {
+		t.Errorf("missing CSV header: %q", s)
+	}
+	if strings.Contains(s, "completed in") {
+		t.Error("CSV mode leaked the footer")
+	}
+}

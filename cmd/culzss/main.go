@@ -1,0 +1,266 @@
+// Command culzss is the standalone compression program — the paper's
+// "I/O version" (§III): it reads a file, compresses it with the selected
+// CULZSS implementation, and writes the container back out; -d reverses.
+//
+// Usage:
+//
+//	culzss [flags] input [output]            compress input
+//	culzss -d [flags] input.clz [output]     decompress a container
+//	culzss -info input.clz                   describe a container
+//
+// When output is omitted, compression appends ".clz" and decompression
+// strips it (or appends ".out"). "-" means stdin/stdout, so the tool
+// drops into Unix pipelines: `tar c dir | culzss - - > dir.tar.clz`.
+//
+// Examples:
+//
+//	culzss -version 2 kernel.tar
+//	culzss -version auto -stats big.dat compressed.clz
+//	culzss -d compressed.clz restored.dat
+//	culzss -window 64 -tpb 128 -verify data.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"culzss/internal/core"
+	"culzss/internal/format"
+	"culzss/internal/lzss"
+	"culzss/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "culzss:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("culzss", flag.ContinueOnError)
+	var (
+		decompress = fs.Bool("d", false, "decompress instead of compress")
+		info       = fs.Bool("info", false, "describe a container and exit")
+		dump       = fs.Bool("dump", false, "print token statistics of a CULZSS container and exit")
+		version    = fs.String("version", "auto", "implementation: auto, 1, 2, serial, parallel")
+		chunk      = fs.Int("chunk", 0, "chunk size in bytes (0 = version default)")
+		tpb        = fs.Int("tpb", 0, "GPU threads per block (0 = 128)")
+		window     = fs.Int("window", 0, "sliding window size (0 = version default)")
+		maxMatch   = fs.Int("maxmatch", 0, "maximum match length (0 = version default)")
+		verify     = fs.Bool("verify", false, "decompress after compressing and compare")
+		showStats  = fs.Bool("stats", false, "print timing and ratio to stderr")
+		profile    = fs.Bool("profile", false, "print the kernel profiler breakdown to stderr (GPU versions)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 || fs.NArg() > 2 {
+		fs.Usage()
+		return fmt.Errorf("expected input [output], got %d args", fs.NArg())
+	}
+	in := fs.Arg(0)
+
+	params := core.Params{
+		ChunkSize:       *chunk,
+		ThreadsPerBlock: *tpb,
+		Window:          *window,
+		MaxMatch:        *maxMatch,
+	}
+	switch strings.ToLower(*version) {
+	case "auto":
+		params.Version = core.VersionAuto
+	case "1", "v1":
+		params.Version = core.Version1
+	case "2", "v2":
+		params.Version = core.Version2
+	case "serial":
+		params.Version = core.VersionSerial
+	case "parallel", "pthread":
+		params.Version = core.VersionParallel
+	default:
+		return fmt.Errorf("unknown -version %q", *version)
+	}
+
+	if *info {
+		return describe(in)
+	}
+	if *dump {
+		return dumpTokens(in)
+	}
+	readInput := func() ([]byte, error) {
+		if in == "-" {
+			return io.ReadAll(os.Stdin)
+		}
+		return os.ReadFile(in)
+	}
+	writeOutput := func(path string, data []byte) error {
+		if path == "-" {
+			_, err := os.Stdout.Write(data)
+			return err
+		}
+		return os.WriteFile(path, data, 0o644)
+	}
+	if *decompress {
+		out := fs.Arg(1)
+		if out == "" {
+			if in == "-" {
+				out = "-"
+			} else {
+				out = strings.TrimSuffix(in, ".clz")
+				if out == in {
+					out = in + ".out"
+				}
+			}
+		}
+		start := time.Now()
+		container, err := readInput()
+		if err != nil {
+			return err
+		}
+		plain, err := core.Decompress(container, params)
+		if err != nil {
+			return err
+		}
+		if err := writeOutput(out, plain); err != nil {
+			return err
+		}
+		if *showStats {
+			fmt.Fprintf(os.Stderr, "decompressed %s -> %s in %v\n", in, out, time.Since(start).Round(time.Millisecond))
+		}
+		return nil
+	}
+
+	out := fs.Arg(1)
+	if out == "" {
+		if in == "-" {
+			out = "-"
+		} else {
+			out = in + ".clz"
+		}
+	}
+	data, err := readInput()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	comp, report, err := core.CompressWithReport(data, params)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if err := writeOutput(out, comp); err != nil {
+		return err
+	}
+	if *verify {
+		back, err := core.Decompress(comp, core.Params{})
+		if err != nil {
+			return fmt.Errorf("verify: %w", err)
+		}
+		if string(back) != string(data) {
+			return fmt.Errorf("verify: round trip mismatch")
+		}
+		if *showStats {
+			fmt.Fprintln(os.Stderr, "verify: ok")
+		}
+	}
+	if *showStats {
+		fmt.Fprintf(os.Stderr, "%s: %s -> %s (ratio %s) in %v\n",
+			in, stats.FormatBytes(int64(len(data))), stats.FormatBytes(int64(len(comp))),
+			stats.RatioPercent(len(comp), len(data)), elapsed.Round(time.Millisecond))
+		if report != nil {
+			fmt.Fprintf(os.Stderr, "gpu model: kernel %v, h2d %v, d2h %v, host %v, simulated total %v\n",
+				report.Launch.KernelTime.Round(time.Microsecond), report.H2D.Round(time.Microsecond),
+				report.D2H.Round(time.Microsecond), report.HostTime.Round(time.Microsecond),
+				report.SimulatedTotal().Round(time.Microsecond))
+		}
+	}
+	if *profile {
+		if report == nil {
+			fmt.Fprintln(os.Stderr, "profile: CPU version, no kernel launched")
+		} else {
+			dev := params.Device
+			if dev == nil {
+				dev = core.Init().Device
+			}
+			fmt.Fprint(os.Stderr, report.Launch.Detail(dev))
+		}
+	}
+	return nil
+}
+
+func dumpTokens(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	h, off, err := format.ParseHeader(data)
+	if err != nil {
+		return err
+	}
+	switch h.Codec {
+	case format.CodecCULZSSV1, format.CodecCULZSSV2:
+	default:
+		return fmt.Errorf("-dump understands CULZSS token streams, not %v", h.Codec)
+	}
+	cfg := lzss.Config{Window: h.Window, MaxMatch: h.Lookahead, MinMatch: int(h.MinMatch)}
+	payload := data[off:]
+	var total lzss.StreamStats
+	for _, b := range h.ChunkBounds() {
+		tokens, err := lzss.ParseTokensByteAligned(payload[b.CompOff:b.CompOff+b.CompLen], b.UncompLen, &cfg)
+		if err != nil {
+			return fmt.Errorf("chunk %d: %w", b.Index, err)
+		}
+		st := lzss.AnalyzeTokens(tokens)
+		total.Literals += st.Literals
+		total.Matches += st.Matches
+		total.MatchedBytes += st.MatchedBytes
+		total.TotalLen += st.TotalLen
+		total.TotalDist += st.TotalDist
+		if total.MinLen == 0 || (st.MinLen > 0 && st.MinLen < total.MinLen) {
+			total.MinLen = st.MinLen
+		}
+		if st.MaxLen > total.MaxLen {
+			total.MaxLen = st.MaxLen
+		}
+		if total.MinDist == 0 || (st.MinDist > 0 && st.MinDist < total.MinDist) {
+			total.MinDist = st.MinDist
+		}
+		if st.MaxDist > total.MaxDist {
+			total.MaxDist = st.MaxDist
+		}
+		for i := range st.LengthHist {
+			total.LengthHist[i] += st.LengthHist[i]
+		}
+	}
+	fmt.Printf("container:     %s (%v, %d chunks)\n", path, h.Codec, len(h.ChunkSizes))
+	fmt.Print(total)
+	return nil
+}
+
+func describe(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	h, off, err := format.ParseHeader(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("container:     %s\n", path)
+	fmt.Printf("codec:         %v\n", h.Codec)
+	fmt.Printf("window:        %d\n", h.Window)
+	fmt.Printf("lookahead:     %d\n", h.Lookahead)
+	fmt.Printf("min match:     %d\n", h.MinMatch)
+	fmt.Printf("chunk size:    %d\n", h.ChunkSize)
+	fmt.Printf("chunks:        %d\n", len(h.ChunkSizes))
+	fmt.Printf("original len:  %s\n", stats.FormatBytes(int64(h.OriginalLen)))
+	fmt.Printf("payload len:   %s (+%d header bytes)\n", stats.FormatBytes(int64(h.PayloadLen())), off)
+	fmt.Printf("ratio:         %s\n", stats.RatioPercent(h.PayloadLen()+off, h.OriginalLen))
+	fmt.Printf("checksum:      %08x\n", h.Checksum)
+	return nil
+}

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"culzss/internal/datasets"
+)
+
+func writeInput(t *testing.T, dir string) (string, []byte) {
+	t.Helper()
+	data := datasets.CFiles(64<<10, 5)
+	path := filepath.Join(dir, "input.dat")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+func TestCompressDecompressCycle(t *testing.T) {
+	dir := t.TempDir()
+	in, data := writeInput(t, dir)
+	comp := filepath.Join(dir, "out.clz")
+	back := filepath.Join(dir, "back.dat")
+
+	if err := run([]string{"-version", "1", in, comp}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-d", comp, back}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestDefaultOutputNames(t *testing.T) {
+	dir := t.TempDir()
+	in, data := writeInput(t, dir)
+	if err := run([]string{"-version", "2", in}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(in + ".clz"); err != nil {
+		t.Fatalf("default .clz output missing: %v", err)
+	}
+	// Decompressing in place strips .clz but would overwrite the input;
+	// move it first.
+	moved := filepath.Join(dir, "copy.clz")
+	if err := os.Rename(in+".clz", moved); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-d", moved}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "copy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestVerifyAndStatsFlags(t *testing.T) {
+	dir := t.TempDir()
+	in, _ := writeInput(t, dir)
+	if err := run([]string{"-verify", "-stats", "-version", "serial", in, filepath.Join(dir, "s.clz")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-verify", "-stats", "-version", "parallel", in, filepath.Join(dir, "p.clz")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInfoFlag(t *testing.T) {
+	dir := t.TempDir()
+	in, _ := writeInput(t, dir)
+	comp := filepath.Join(dir, "c.clz")
+	if err := run([]string{in, comp}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-info", comp}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-info", in}); err == nil {
+		t.Fatal("-info accepted a non-container")
+	}
+}
+
+func TestDumpFlag(t *testing.T) {
+	dir := t.TempDir()
+	in, _ := writeInput(t, dir)
+	comp := filepath.Join(dir, "c.clz")
+	if err := run([]string{"-version", "1", in, comp}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dump", comp}); err != nil {
+		t.Fatal(err)
+	}
+	// -dump only understands the CULZSS token streams.
+	serial := filepath.Join(dir, "s.clz")
+	if err := run([]string{"-version", "serial", in, serial}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dump", serial}); err == nil {
+		t.Fatal("-dump accepted a bit-packed container")
+	}
+}
+
+func TestTuningFlags(t *testing.T) {
+	dir := t.TempDir()
+	in, data := writeInput(t, dir)
+	comp := filepath.Join(dir, "w.clz")
+	if err := run([]string{"-version", "1", "-window", "64", "-tpb", "64", "-chunk", "2048", in, comp}); err != nil {
+		t.Fatal(err)
+	}
+	back := filepath.Join(dir, "wback.dat")
+	if err := run([]string{"-d", comp, back}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(back)
+	if !bytes.Equal(got, data) {
+		t.Fatal("tuned round trip mismatch")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := t.TempDir()
+	in, _ := writeInput(t, dir)
+	cases := [][]string{
+		{},                                     // no args
+		{"a", "b", "c"},                        // too many args
+		{"-version", "bogus", in},              // bad version
+		{filepath.Join(dir, "missing"), "out"}, // missing input
+		{"-version", "1", "-window", "4096", in, filepath.Join(dir, "x.clz")}, // GPU window too big
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}
+
+func TestProfileFlag(t *testing.T) {
+	dir := t.TempDir()
+	in, _ := writeInput(t, dir)
+	if err := run([]string{"-profile", "-version", "2", in, filepath.Join(dir, "pr.clz")}); err != nil {
+		t.Fatal(err)
+	}
+	// CPU versions report "no kernel" but still succeed.
+	if err := run([]string{"-profile", "-version", "serial", in, filepath.Join(dir, "pr2.clz")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipeModePaths(t *testing.T) {
+	// Exercise "-" handling through temp-file stdin/stdout redirection.
+	dir := t.TempDir()
+	in, data := writeInput(t, dir)
+	inFile, err := os.Open(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inFile.Close()
+	outPath := filepath.Join(dir, "piped.clz")
+	outFile, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldIn, oldOut := os.Stdin, os.Stdout
+	os.Stdin, os.Stdout = inFile, outFile
+	err = run([]string{"-version", "1", "-", "-"})
+	os.Stdin, os.Stdout = oldIn, oldOut
+	outFile.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := filepath.Join(dir, "piped.out")
+	if err := run([]string{"-d", outPath, back}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(back)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("pipe round trip failed: %v", err)
+	}
+}

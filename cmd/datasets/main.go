@@ -1,0 +1,78 @@
+// Command datasets materialises the five synthetic benchmark datasets
+// (§IV.B stand-ins) to disk, at any size, deterministically.
+//
+// Usage:
+//
+//	datasets -dir bench-data -size 128MB          all five at paper scale
+//	datasets -only cfiles,highcomp -size 8MiB     a subset
+//	datasets -list                                describe the datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"culzss/internal/cliutil"
+	"culzss/internal/datasets"
+	"culzss/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "datasets:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("datasets", flag.ContinueOnError)
+	var (
+		dir     = fs.String("dir", "bench-data", "output directory")
+		sizeStr = fs.String("size", "8MiB", "bytes per dataset")
+		seed    = fs.Int64("seed", 20110926, "generator seed")
+		only    = fs.String("only", "", "comma list of dataset keys (empty = all)")
+		list    = fs.Bool("list", false, "list datasets and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, g := range datasets.All() {
+			fmt.Printf("%-12s %-16s %s\n", g.Key, g.Name, g.Description)
+		}
+		return nil
+	}
+	size, err := cliutil.ParseSize(*sizeStr)
+	if err != nil {
+		return err
+	}
+	selected := map[string]bool{}
+	for _, k := range strings.Split(*only, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			if _, ok := datasets.ByKey(k); !ok {
+				return fmt.Errorf("unknown dataset key %q (try -list)", k)
+			}
+			selected[k] = true
+		}
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	for _, g := range datasets.All() {
+		if len(selected) > 0 && !selected[g.Key] {
+			continue
+		}
+		start := time.Now()
+		data := g.Gen(size, *seed)
+		path := filepath.Join(*dir, g.Key+".dat")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %s  %s  (%v)\n", g.Key, path, stats.FormatBytes(int64(len(data))), time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

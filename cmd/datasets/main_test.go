@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateAll(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-dir", dir, "-size", "64KiB"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"cfiles", "demap", "dictionary", "kernel", "highcomp"} {
+		fi, err := os.Stat(filepath.Join(dir, key+".dat"))
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if fi.Size() != 64<<10 {
+			t.Fatalf("%s: size %d", key, fi.Size())
+		}
+	}
+}
+
+func TestGenerateSubsetAndDeterminism(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	for _, dir := range []string{dirA, dirB} {
+		if err := run([]string{"-dir", dir, "-size", "32KiB", "-only", "cfiles", "-seed", "7"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := os.ReadFile(filepath.Join(dirA, "cfiles.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dirB, "cfiles.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("generation not deterministic across runs")
+	}
+	if _, err := os.Stat(filepath.Join(dirA, "demap.dat")); err == nil {
+		t.Fatal("-only generated extra datasets")
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{"-size", "nope"}); err == nil {
+		t.Error("accepted bad size")
+	}
+	if err := run([]string{"-only", "marsdata"}); err == nil {
+		t.Error("accepted unknown dataset")
+	}
+}

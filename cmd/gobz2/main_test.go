@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"culzss/internal/datasets"
+)
+
+func TestBz2RoundTripThroughCLI(t *testing.T) {
+	dir := t.TempDir()
+	data := datasets.CFiles(128<<10, 9)
+	in := filepath.Join(dir, "input.c")
+	if err := os.WriteFile(in, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-q", in}); err != nil {
+		t.Fatal(err)
+	}
+	comp := in + ".bz2"
+	fi, err := os.Stat(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() >= int64(len(data)) {
+		t.Fatalf("no compression: %d -> %d", len(data), fi.Size())
+	}
+	back := filepath.Join(dir, "back.c")
+	if err := run([]string{"-q", "-d", comp, back}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestBz2CLIErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("accepted no args")
+	}
+	if err := run([]string{"-level", "12", "x"}); err == nil {
+		t.Error("accepted bad level")
+	}
+	if err := run([]string{"/does/not/exist"}); err == nil {
+		t.Error("accepted missing input")
+	}
+}

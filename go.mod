@@ -1,0 +1,3 @@
+module culzss
+
+go 1.22

@@ -1,0 +1,400 @@
+// Package bzfile writes the real “.bz2” interchange format, as produced
+// by the bzip2 program the paper benchmarks against.
+//
+// The repository's bzip2 baseline (internal/bzip2) uses its own container
+// for the evaluation; this package serialises the same pipeline —
+// stage-1 RLE, Burrows–Wheeler transform, move-to-front, zero run-length
+// symbols, multi-table canonical Huffman — into the bit-exact on-disk
+// format, which lets the whole pipeline be cross-validated against an
+// independent implementation (the standard library's compress/bzip2
+// reader decodes our output byte-for-byte).
+//
+// Only the writer is provided; reading .bz2 already exists in the
+// standard library.
+package bzfile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"culzss/internal/bitio"
+	"culzss/internal/bzip2/bwt"
+	"culzss/internal/bzip2/huffman"
+)
+
+// Writer-side constants of the format.
+const (
+	groupSize    = 50
+	maxSelectors = 18002
+	maxCodeLen   = 17 // encoder choice; the format allows up to 20
+)
+
+// Encode compresses data into a complete .bz2 stream written to w.
+// level selects the block size (level * 100_000 bytes), 1..9.
+func Encode(w io.Writer, data []byte, level int) error {
+	if level < 1 || level > 9 {
+		return fmt.Errorf("bzfile: level %d out of 1..9", level)
+	}
+	bw := bitio.NewWriter(len(data)/2 + 64)
+	// Stream header: "BZh" + level digit.
+	bw.WriteBits(uint64('B'), 8)
+	bw.WriteBits(uint64('Z'), 8)
+	bw.WriteBits(uint64('h'), 8)
+	bw.WriteBits(uint64('0'+level), 8)
+
+	blockSize := level * 100_000
+	var streamCRC uint32
+	for off := 0; off < len(data); off += blockSize {
+		end := off + blockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		blockCRC, err := encodeBlock(bw, data[off:end])
+		if err != nil {
+			return err
+		}
+		streamCRC = (streamCRC<<1 | streamCRC>>31) ^ blockCRC
+	}
+
+	// Stream footer: sqrt(pi) magic + combined CRC.
+	bw.WriteBits(0x177245385090, 48)
+	bw.WriteBits(uint64(streamCRC), 32)
+	if _, err := w.Write(bw.Bytes()); err != nil {
+		return fmt.Errorf("bzfile: %w", err)
+	}
+	return nil
+}
+
+// encodeBlock writes one compressed block and returns its CRC.
+func encodeBlock(bw *bitio.Writer, block []byte) (uint32, error) {
+	blockCRC := crc32bz(block)
+
+	// Stage 1 RLE with the format's run cap (4 + 0..251 extras).
+	rle := rle1(block)
+	// BWT over the RLE'd block.
+	last, primary := bwt.Transform(rle, nil)
+
+	// Used-byte map and the MTF alphabet (used bytes ascending).
+	var used [256]bool
+	for _, c := range last {
+		used[c] = true
+	}
+	var alphabet []byte
+	for v := 0; v < 256; v++ {
+		if used[v] {
+			alphabet = append(alphabet, byte(v))
+		}
+	}
+	nUsed := len(alphabet)
+	if nUsed == 0 {
+		return 0, fmt.Errorf("bzfile: empty block")
+	}
+	eob := nUsed + 1
+	alphaSize := nUsed + 2
+
+	// MTF + zero-run symbols.
+	syms := mtfRle2(last, alphabet, eob)
+
+	// Huffman tables: 2..6 groups, refined like the reference encoder.
+	nGroups := groupsFor(len(syms))
+	lengths, selectors, err := buildTables(syms, alphaSize, nGroups)
+	if err != nil {
+		return 0, err
+	}
+	encoders := make([]*huffman.Encoder, nGroups)
+	for t := range encoders {
+		enc, err := huffman.NewEncoder(lengths[t])
+		if err != nil {
+			return 0, err
+		}
+		encoders[t] = enc
+	}
+
+	// --- serialise ---
+	bw.WriteBits(0x314159265359, 48) // block magic (pi)
+	bw.WriteBits(uint64(blockCRC), 32)
+	bw.WriteBit(0) // randomised: deprecated, always 0
+	bw.WriteBits(uint64(primary), 24)
+
+	// Symbol-used maps: 16 sector bits, then 16 bits per used sector.
+	var sectors uint16
+	for s := 0; s < 16; s++ {
+		for b := 0; b < 16; b++ {
+			if used[s*16+b] {
+				sectors |= 1 << (15 - s)
+			}
+		}
+	}
+	bw.WriteBits(uint64(sectors), 16)
+	for s := 0; s < 16; s++ {
+		if sectors&(1<<(15-s)) == 0 {
+			continue
+		}
+		var m uint16
+		for b := 0; b < 16; b++ {
+			if used[s*16+b] {
+				m |= 1 << (15 - b)
+			}
+		}
+		bw.WriteBits(uint64(m), 16)
+	}
+
+	bw.WriteBits(uint64(nGroups), 3)
+	bw.WriteBits(uint64(len(selectors)), 15)
+
+	// Selectors, MTF-coded over table indices, unary-written.
+	mtfTables := make([]int, nGroups)
+	for i := range mtfTables {
+		mtfTables[i] = i
+	}
+	for _, sel := range selectors {
+		j := 0
+		for mtfTables[j] != sel {
+			j++
+		}
+		copy(mtfTables[1:j+1], mtfTables[:j])
+		mtfTables[0] = sel
+		for k := 0; k < j; k++ {
+			bw.WriteBit(1)
+		}
+		bw.WriteBit(0)
+	}
+
+	// Delta-coded code lengths per table.
+	for t := 0; t < nGroups; t++ {
+		cur := int(lengths[t][0])
+		bw.WriteBits(uint64(cur), 5)
+		for s := 0; s < alphaSize; s++ {
+			target := int(lengths[t][s])
+			for cur < target {
+				bw.WriteBit(1)
+				bw.WriteBit(0)
+				cur++
+			}
+			for cur > target {
+				bw.WriteBit(1)
+				bw.WriteBit(1)
+				cur--
+			}
+			bw.WriteBit(0)
+		}
+	}
+
+	// The symbol stream, switching tables per group of 50.
+	for g := 0; g*groupSize < len(syms); g++ {
+		enc := encoders[selectors[g]]
+		lo, hi := g*groupSize, (g+1)*groupSize
+		if hi > len(syms) {
+			hi = len(syms)
+		}
+		for _, s := range syms[lo:hi] {
+			if err := enc.Encode(bw, int(s)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return blockCRC, nil
+}
+
+// rle1 is the format's stage-1 RLE: runs of 4..255 become the byte
+// repeated four times plus an extra count byte 0..251.
+func rle1(data []byte) []byte {
+	out := make([]byte, 0, len(data)+len(data)/4+16)
+	i := 0
+	for i < len(data) {
+		c := data[i]
+		run := 1
+		for i+run < len(data) && run < 255 && data[i+run] == c {
+			run++
+		}
+		if run < 4 {
+			for k := 0; k < run; k++ {
+				out = append(out, c)
+			}
+		} else {
+			out = append(out, c, c, c, c, byte(run-4))
+		}
+		i += run
+	}
+	return out
+}
+
+// mtfRle2 converts the BWT output to the symbol stream: MTF over the used
+// alphabet, zero runs in bijective base 2 (RUNA=0, RUNB=1), nonzero MTF
+// value v as symbol v+1, terminated by eob.
+func mtfRle2(last []byte, alphabet []byte, eob int) []uint16 {
+	list := append([]byte(nil), alphabet...)
+	out := make([]uint16, 0, len(last)/2+16)
+	emitRun := func(r int) {
+		for r > 0 {
+			if r&1 == 1 {
+				out = append(out, 0) // RUNA
+				r = (r - 1) / 2
+			} else {
+				out = append(out, 1) // RUNB
+				r = (r - 2) / 2
+			}
+		}
+	}
+	run := 0
+	for _, c := range last {
+		var j int
+		for j = 0; list[j] != c; j++ {
+		}
+		if j == 0 {
+			run++
+			continue
+		}
+		emitRun(run)
+		run = 0
+		copy(list[1:j+1], list[:j])
+		list[0] = c
+		out = append(out, uint16(j)+1)
+	}
+	emitRun(run)
+	return append(out, uint16(eob))
+}
+
+// groupsFor mirrors the reference encoder's table-count choice.
+func groupsFor(nSyms int) int {
+	switch {
+	case nSyms < 200:
+		return 2
+	case nSyms < 600:
+		return 3
+	case nSyms < 1200:
+		return 4
+	case nSyms < 2400:
+		return 5
+	default:
+		return 6
+	}
+}
+
+// buildTables assigns groups to tables with iterative refinement and
+// returns per-table code lengths plus the selector list.
+func buildTables(syms []uint16, alphaSize, nGroups int) ([][]uint8, []int, error) {
+	nSel := (len(syms) + groupSize - 1) / groupSize
+	if nSel == 0 {
+		nSel = 1
+	}
+	if nSel > maxSelectors {
+		return nil, nil, fmt.Errorf("bzfile: %d selectors exceed the format limit", nSel)
+	}
+	groupFreq := make([][]int64, nSel)
+	for g := range groupFreq {
+		f := make([]int64, alphaSize)
+		lo, hi := g*groupSize, (g+1)*groupSize
+		if hi > len(syms) {
+			hi = len(syms)
+		}
+		for _, s := range syms[lo:hi] {
+			f[s]++
+		}
+		groupFreq[g] = f
+	}
+
+	selectors := make([]int, nSel)
+	for g := range selectors {
+		selectors[g] = g % nGroups
+	}
+	var lengths [][]uint8
+	for iter := 0; iter < 4; iter++ {
+		freqs := make([][]int64, nGroups)
+		for t := range freqs {
+			freqs[t] = make([]int64, alphaSize)
+		}
+		for g, t := range selectors {
+			for s, f := range groupFreq[g] {
+				freqs[t][s] += f
+			}
+		}
+		lengths = make([][]uint8, nGroups)
+		for t := range lengths {
+			padded := make([]int64, alphaSize)
+			for s := range padded {
+				padded[s] = freqs[t][s]
+				if padded[s] == 0 {
+					padded[s] = 1
+				}
+			}
+			l := huffman.BuildLengths(padded)
+			capLengths(l, padded)
+			lengths[t] = l
+		}
+		for g := range selectors {
+			best, bestCost := 0, int64(1)<<62
+			for t := 0; t < nGroups; t++ {
+				var cost int64
+				for s, f := range groupFreq[g] {
+					if f > 0 {
+						cost += f * int64(lengths[t][s])
+					}
+				}
+				if cost < bestCost {
+					best, bestCost = t, cost
+				}
+			}
+			selectors[g] = best
+		}
+	}
+	return lengths, selectors, nil
+}
+
+// capLengths enforces the writer's maxCodeLen by rebuilding with damped
+// frequencies when needed (BuildLengths already caps at 20; tighten to
+// 17 so older decoders are happy).
+func capLengths(lengths []uint8, freq []int64) {
+	for over := true; over; {
+		over = false
+		for _, l := range lengths {
+			if int(l) > maxCodeLen {
+				over = true
+				break
+			}
+		}
+		if !over {
+			return
+		}
+		for i, v := range freq {
+			if v > 0 {
+				freq[i] = 1 + v/2
+			}
+		}
+		copy(lengths, huffman.BuildLengths(freq))
+	}
+}
+
+// crc32bz is bzip2's CRC-32: polynomial 0x04c11db7, MSB-first (not
+// reflected), initial value all-ones, final complement.
+func crc32bz(data []byte) uint32 {
+	crc := ^uint32(0)
+	for _, b := range data {
+		crc ^= uint32(b) << 24
+		for k := 0; k < 8; k++ {
+			if crc&0x80000000 != 0 {
+				crc = crc<<1 ^ 0x04c11db7
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return ^crc
+}
+
+// sortedUsed is a test helper exposing the alphabet derivation.
+func sortedUsed(data []byte) []byte {
+	var used [256]bool
+	for _, c := range data {
+		used[c] = true
+	}
+	var out []byte
+	for v := 0; v < 256; v++ {
+		if used[v] {
+			out = append(out, byte(v))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,157 @@
+package bzfile
+
+import (
+	"bytes"
+	stdbzip2 "compress/bzip2"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// roundTripStd encodes with this package and decodes with the standard
+// library's independent bzip2 reader — the strongest cross-validation of
+// the whole RLE/BWT/MTF/Huffman pipeline available offline.
+func roundTripStd(t *testing.T, data []byte, level int) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, data, level); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := io.ReadAll(stdbzip2.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("stdlib decode: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: %d in, %d out", len(data), len(got))
+	}
+}
+
+func TestStdlibDecodesOurOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randBytes := make([]byte, 50000)
+	rng.Read(randBytes)
+	var text strings.Builder
+	words := []string{"block", "sorting", "huffman", "the", "transform", "of"}
+	for text.Len() < 200000 {
+		text.WriteString(words[rng.Intn(len(words))])
+		text.WriteByte(' ')
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"one":       {42},
+		"short":     []byte("hello, bzip2 world"),
+		"runs":      bytes.Repeat([]byte{'a'}, 10000),
+		"run_break": append(bytes.Repeat([]byte{'x'}, 300), []byte("tail")...),
+		"period20":  bytes.Repeat([]byte("abcdefghijklmnopqrst"), 2000),
+		"text":      []byte(text.String()),
+		"random":    randBytes,
+		"all_bytes": func() []byte {
+			b := make([]byte, 256)
+			for i := range b {
+				b[i] = byte(i)
+			}
+			return b
+		}(),
+		"zeros": make([]byte, 30000),
+		"alt":   bytes.Repeat([]byte{0, 255}, 5000),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			roundTripStd(t, data, 9)
+		})
+	}
+}
+
+func TestAllLevels(t *testing.T) {
+	data := bytes.Repeat([]byte("level sweep content with some repetition; "), 1000)
+	for level := 1; level <= 9; level++ {
+		roundTripStd(t, data, level)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, data, 0); err == nil {
+		t.Fatal("accepted level 0")
+	}
+	if err := Encode(&buf, data, 10); err == nil {
+		t.Fatal("accepted level 10")
+	}
+}
+
+func TestMultiBlockStreams(t *testing.T) {
+	// Level 1 = 100 kB blocks; 350 kB input = 4 blocks, exercising the
+	// stream CRC combination.
+	rng := rand.New(rand.NewSource(2))
+	var sb strings.Builder
+	for sb.Len() < 350000 {
+		sb.WriteString("multi block stream content ")
+		if rng.Intn(10) == 0 {
+			sb.WriteString(strings.Repeat("z", rng.Intn(300)))
+		}
+	}
+	roundTripStd(t, []byte(sb.String()), 1)
+}
+
+func TestQuickAgainstStdlib(t *testing.T) {
+	f := func(data []byte) bool {
+		var buf bytes.Buffer
+		if err := Encode(&buf, data, 5); err != nil {
+			return false
+		}
+		got, err := io.ReadAll(stdbzip2.NewReader(&buf))
+		if err != nil {
+			return false
+		}
+		if len(data) == 0 {
+			return len(got) == 0
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressesText(t *testing.T) {
+	data := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 2000)
+	var buf bytes.Buffer
+	if err := Encode(&buf, data, 9); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > len(data)/10 {
+		t.Fatalf("repetitive text compressed to only %d/%d", buf.Len(), len(data))
+	}
+}
+
+func TestCRC32bzKnownValue(t *testing.T) {
+	// The unreflected CRC-32/BZIP2 check value for "123456789".
+	if got := crc32bz([]byte("123456789")); got != 0xFC891918 {
+		t.Fatalf("crc32bz = %#x, want 0xFC891918", got)
+	}
+}
+
+func TestRLE1FormatCap(t *testing.T) {
+	// The format caps a run unit at 4+251 = 255 source bytes.
+	enc := rle1(bytes.Repeat([]byte{'q'}, 1000))
+	for i := 0; i+4 < len(enc); {
+		if enc[i] == enc[i+1] && enc[i] == enc[i+2] && enc[i] == enc[i+3] {
+			if enc[i+4] > 251 {
+				t.Fatalf("count byte %d exceeds format cap 251", enc[i+4])
+			}
+			i += 5
+			continue
+		}
+		i++
+	}
+}
+
+func TestHeaderBytes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, []byte("x"), 7); err != nil {
+		t.Fatal(err)
+	}
+	hdr := buf.Bytes()[:4]
+	if string(hdr) != "BZh7" {
+		t.Fatalf("header = %q", hdr)
+	}
+}

@@ -1,0 +1,39 @@
+package bzip2
+
+// Move-to-front coding (paper ref [3]'s pipeline stage): after the BWT
+// clusters identical bytes, MTF turns locality into a stream dominated by
+// small values — mostly zeros — which the zero-run coder then crushes.
+
+// mtfEncode transforms data into MTF indices.
+func mtfEncode(data []byte) []byte {
+	var list [256]byte
+	for i := range list {
+		list[i] = byte(i)
+	}
+	out := make([]byte, len(data))
+	for i, c := range data {
+		var j int
+		for j = 0; list[j] != c; j++ {
+		}
+		out[i] = byte(j)
+		copy(list[1:j+1], list[:j])
+		list[0] = c
+	}
+	return out
+}
+
+// mtfDecode inverts mtfEncode.
+func mtfDecode(idx []byte) []byte {
+	var list [256]byte
+	for i := range list {
+		list[i] = byte(i)
+	}
+	out := make([]byte, len(idx))
+	for i, j := range idx {
+		c := list[j]
+		out[i] = c
+		copy(list[1:int(j)+1], list[:j])
+		list[0] = c
+	}
+	return out
+}

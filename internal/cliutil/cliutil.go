@@ -1,0 +1,50 @@
+// Package cliutil holds the small helpers shared by the cmd/ binaries:
+// human-friendly size parsing and duration/size rendering.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSize parses a human byte size: plain bytes ("4096"), decimal units
+// ("128MB", "2GB"), or binary units ("8MiB", "1GiB", "64KiB"/"64K").
+func ParseSize(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("cliutil: empty size")
+	}
+	upper := strings.ToUpper(s)
+	type unit struct {
+		suffix string
+		mult   int
+	}
+	units := []unit{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30},
+		{"KB", 1000}, {"MB", 1000 * 1000}, {"GB", 1000 * 1000 * 1000},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30},
+		{"B", 1},
+	}
+	for _, u := range units {
+		if strings.HasSuffix(upper, u.suffix) {
+			num := strings.TrimSpace(upper[:len(upper)-len(u.suffix)])
+			v, err := strconv.ParseFloat(num, 64)
+			if err != nil {
+				return 0, fmt.Errorf("cliutil: bad size %q: %v", s, err)
+			}
+			if v < 0 {
+				return 0, fmt.Errorf("cliutil: negative size %q", s)
+			}
+			return int(v * float64(u.mult)), nil
+		}
+	}
+	v, err := strconv.Atoi(upper)
+	if err != nil {
+		return 0, fmt.Errorf("cliutil: bad size %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("cliutil: negative size %q", s)
+	}
+	return v, nil
+}

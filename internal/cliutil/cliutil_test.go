@@ -1,0 +1,36 @@
+package cliutil
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int{
+		"4096":   4096,
+		"64K":    64 << 10,
+		"64KiB":  64 << 10,
+		"8MiB":   8 << 20,
+		"128MB":  128_000_000,
+		"1GiB":   1 << 30,
+		"2GB":    2_000_000_000,
+		"1.5MiB": 3 << 19,
+		"100B":   100,
+		" 7M ":   7 << 20,
+	}
+	for in, want := range cases {
+		got, err := ParseSize(in)
+		if err != nil {
+			t.Errorf("ParseSize(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestParseSizeErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "-4K", "12QiB", "MiB"} {
+		if _, err := ParseSize(in); err == nil {
+			t.Errorf("ParseSize(%q) accepted", in)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package core
+
+import (
+	"testing"
+
+	"culzss/internal/bzip2"
+)
+
+// mustBZip2 compresses with the baseline for dispatch tests.
+func mustBZip2(t *testing.T, data []byte) []byte {
+	t.Helper()
+	out, err := bzip2.Compress(data, bzip2.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

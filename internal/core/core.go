@@ -1,0 +1,287 @@
+// Package core is the CULZSS library surface — the in-memory compression
+// API of the paper's Figure 2, with the version-selection parameter, the
+// tuning knobs promised in §VII (window size, threads per block), file
+// I/O helpers for the standalone-program mode, and io.Reader/io.Writer
+// streaming adapters.
+//
+// The paper's interface is
+//
+//	Gpu_init(); Gpu_compress(buf, len, out, params); Gpu_decompress(...)
+//
+// which maps here to Init (device detection), Compress / Decompress, and
+// Params. Decompress dispatches on the container's codec, so any stream
+// produced by this repository — GPU V1/V2, serial, pthread, bzip2 — opens
+// with the same call.
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"culzss/internal/bzip2"
+	"culzss/internal/cpulzss"
+	"culzss/internal/cudasim"
+	"culzss/internal/format"
+	"culzss/internal/gpu"
+	"culzss/internal/lzss"
+)
+
+// Version selects which implementation compresses the data, mirroring the
+// paper's API parameter ("Users of our library can specify the version on
+// the API call", §V).
+type Version int
+
+// Version values.
+const (
+	// VersionAuto samples the input and picks V1 or V2 by its
+	// compressibility: §V — V2 "gives best performance gain mainly on
+	// files that are around 50% compressible or less", V1 wins on highly
+	// compressible data.
+	VersionAuto Version = iota
+	// Version1 is the chunk-per-thread GPU kernel.
+	Version1
+	// Version2 is the match-per-thread GPU kernel.
+	Version2
+	// VersionSerial is the serial CPU implementation (the paper's
+	// baseline; useful without a GPU).
+	VersionSerial
+	// VersionParallel is the pthread-style chunked CPU implementation.
+	VersionParallel
+	// VersionBZip2 is the from-scratch BZIP2 baseline (the program the
+	// paper compares against), behind the same API.
+	VersionBZip2
+)
+
+// String implements fmt.Stringer.
+func (v Version) String() string {
+	switch v {
+	case VersionAuto:
+		return "auto"
+	case Version1:
+		return "culzss-v1"
+	case Version2:
+		return "culzss-v2"
+	case VersionSerial:
+		return "serial"
+	case VersionParallel:
+		return "parallel"
+	case VersionBZip2:
+		return "bzip2"
+	default:
+		return fmt.Sprintf("version(%d)", int(v))
+	}
+}
+
+// Params are the compression parameters of the paper's API. The zero
+// value is ready to use: automatic version selection with the paper's
+// defaults (4 KiB chunks, 128 threads/block, 128-byte window).
+type Params struct {
+	// Version picks the implementation; VersionAuto samples the input.
+	Version Version
+	// ChunkSize is the per-chunk granularity; 0 means the version's
+	// default (4 KiB for the GPU kernels, 256 KiB for the CPU parallel).
+	ChunkSize int
+	// ThreadsPerBlock is the GPU block width; 0 means 128 (§III.D).
+	ThreadsPerBlock int
+	// Window overrides the sliding-window size (§VII's tuning API);
+	// 0 means the version's preset. GPU versions accept at most 256.
+	Window int
+	// MaxMatch overrides the maximum match length; 0 means the preset.
+	MaxMatch int
+	// Device is the simulated GPU; nil uses the device detected by Init.
+	Device *cudasim.Device
+	// HostWorkers bounds host-side parallelism; 0 means GOMAXPROCS.
+	HostWorkers int
+	// Stats, when non-nil, accumulates search statistics.
+	Stats *lzss.SearchStats
+}
+
+// Info describes the detected (simulated) device, the paper's
+// "library gets initialized when loaded, detects GPUs, and determines
+// capabilities" step.
+type Info struct {
+	Device      *cudasim.Device
+	CUDACores   int
+	SharedPerSM int
+}
+
+// Init performs device detection and returns the capability report.
+func Init() *Info {
+	d := cudasim.FermiGTX480()
+	return &Info{Device: d, CUDACores: d.SMs * d.CoresPerSM, SharedPerSM: d.SharedMemPerSM}
+}
+
+// gpuConfig assembles the LZSS configuration for a GPU version, applying
+// the tuning overrides.
+func (p *Params) gpuConfig(v Version) (lzss.Config, error) {
+	cfg := lzss.CULZSSV1()
+	if v == Version2 {
+		cfg = lzss.CULZSSV2()
+	}
+	if p.Window > 0 {
+		cfg.Window = p.Window
+	}
+	if p.MaxMatch > 0 {
+		cfg.MaxMatch = p.MaxMatch
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	if cfg.Window > 256 {
+		return cfg, fmt.Errorf("core: GPU versions need window <= 256, got %d", cfg.Window)
+	}
+	return cfg, nil
+}
+
+// cpuConfig assembles the LZSS configuration for the CPU versions.
+func (p *Params) cpuConfig() (lzss.Config, error) {
+	cfg := lzss.Dipperstein()
+	if p.Window > 0 {
+		cfg.Window = p.Window
+	}
+	if p.MaxMatch > 0 {
+		cfg.MaxMatch = p.MaxMatch
+	}
+	return cfg, cfg.Validate()
+}
+
+// SelectVersion implements the automatic choice: it compresses a small
+// sample and picks Version1 for highly compressible data, Version2
+// otherwise (§V's guidance, Table I's crossover).
+func SelectVersion(data []byte) Version {
+	const sampleLen = 32 << 10
+	sample := data
+	if len(sample) > sampleLen {
+		// Sample from the middle: file headers are unrepresentative.
+		start := (len(data) - sampleLen) / 2
+		sample = data[start : start+sampleLen]
+	}
+	if len(sample) == 0 {
+		return Version2
+	}
+	comp, err := lzss.EncodeByteAligned(sample, lzss.CULZSSV1(), lzss.SearchHashChain, nil)
+	if err != nil {
+		return Version2
+	}
+	ratio := float64(len(comp)) / float64(len(sample))
+	// Table II: DE map (34%) and highly-compressible (14%) favour V1;
+	// C files / kernel (~55%) and dictionary (~61%) favour V2.
+	if ratio < 0.45 {
+		return Version1
+	}
+	return Version2
+}
+
+// Compress compresses data in memory per the paper's Gpu_compress: the
+// returned buffer is a self-describing container.
+func Compress(data []byte, p Params) ([]byte, error) {
+	out, _, err := CompressWithReport(data, p)
+	return out, err
+}
+
+// CompressWithReport additionally returns the GPU performance report
+// (nil for the CPU versions).
+func CompressWithReport(data []byte, p Params) ([]byte, *gpu.Report, error) {
+	v := p.Version
+	if v == VersionAuto {
+		v = SelectVersion(data)
+	}
+	switch v {
+	case Version1, Version2:
+		cfg, err := p.gpuConfig(v)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts := gpu.Options{
+			Device:          p.Device,
+			ChunkSize:       p.ChunkSize,
+			ThreadsPerBlock: p.ThreadsPerBlock,
+			Config:          cfg,
+			HostWorkers:     p.HostWorkers,
+			Stats:           p.Stats,
+		}
+		if v == Version1 {
+			return gpu.CompressV1(data, opts)
+		}
+		return gpu.CompressV2(data, opts)
+	case VersionSerial:
+		cfg, err := p.cpuConfig()
+		if err != nil {
+			return nil, nil, err
+		}
+		out, err := cpulzss.CompressSerial(data, cpulzss.Options{Config: cfg, Stats: p.Stats})
+		return out, nil, err
+	case VersionParallel:
+		cfg, err := p.cpuConfig()
+		if err != nil {
+			return nil, nil, err
+		}
+		out, err := cpulzss.CompressParallel(data, cpulzss.Options{
+			Config: cfg, ChunkSize: p.ChunkSize, Workers: p.HostWorkers, Stats: p.Stats,
+		})
+		return out, nil, err
+	case VersionBZip2:
+		out, err := bzip2.Compress(data, bzip2.Options{BlockSize: p.ChunkSize, Workers: p.HostWorkers})
+		return out, nil, err
+	default:
+		return nil, nil, fmt.Errorf("core: unknown version %v", p.Version)
+	}
+}
+
+// Decompress expands any container produced by this repository,
+// dispatching on the recorded codec.
+func Decompress(container []byte, p Params) ([]byte, error) {
+	out, _, err := DecompressWithReport(container, p)
+	return out, err
+}
+
+// DecompressWithReport additionally returns the GPU report for GPU-coded
+// containers (nil otherwise).
+func DecompressWithReport(container []byte, p Params) ([]byte, *gpu.Report, error) {
+	h, _, err := format.ParseHeader(container)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch h.Codec {
+	case format.CodecCULZSSV1, format.CodecCULZSSV2:
+		return gpu.Decompress(container, gpu.Options{
+			Device: p.Device, ThreadsPerBlock: p.ThreadsPerBlock, HostWorkers: p.HostWorkers,
+		})
+	case format.CodecSerialBitPacked, format.CodecChunkedBitPacked:
+		out, err := cpulzss.Decompress(container, p.HostWorkers)
+		return out, nil, err
+	case format.CodecBZip2:
+		out, err := bzip2.Decompress(container, p.HostWorkers)
+		return out, nil, err
+	default:
+		return nil, nil, fmt.Errorf("core: unknown codec %v", h.Codec)
+	}
+}
+
+// CompressFile is the standalone I/O mode: it reads src, compresses with
+// p, and writes the container to dst.
+func CompressFile(src, dst string, p Params) error {
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	out, err := Compress(data, p)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(dst, out, 0o644)
+}
+
+// DecompressFile reads a container from src and writes the expansion to
+// dst.
+func DecompressFile(src, dst string, p Params) error {
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	out, err := Decompress(data, p)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(dst, out, 0o644)
+}

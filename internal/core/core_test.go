@@ -1,0 +1,253 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"culzss/internal/datasets"
+	"culzss/internal/format"
+)
+
+func genText(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	words := []string{"gateway", "compress", "network", "bandwidth", "storage", "payload"}
+	var sb strings.Builder
+	for sb.Len() < n {
+		sb.WriteString(words[rng.Intn(len(words))])
+		sb.WriteByte(' ')
+	}
+	return []byte(sb.String()[:n])
+}
+
+func TestInitDetectsDevice(t *testing.T) {
+	info := Init()
+	if info.Device == nil || info.CUDACores != 480 {
+		t.Fatalf("Init() = %+v", info)
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	for v, want := range map[Version]string{
+		VersionAuto: "auto", Version1: "culzss-v1", Version2: "culzss-v2",
+		VersionSerial: "serial", VersionParallel: "parallel",
+		VersionBZip2: "bzip2", Version(99): "version(99)",
+	} {
+		if got := v.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestCompressDecompressAllVersions(t *testing.T) {
+	input := genText(96<<10, 1)
+	for _, v := range []Version{Version1, Version2, VersionSerial, VersionParallel, VersionBZip2, VersionAuto} {
+		comp, err := Compress(input, Params{Version: v})
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if len(comp) >= len(input) {
+			t.Fatalf("%v: no compression (%d -> %d)", v, len(input), len(comp))
+		}
+		got, err := Decompress(comp, Params{})
+		if err != nil {
+			t.Fatalf("%v: decompress: %v", v, err)
+		}
+		if !bytes.Equal(got, input) {
+			t.Fatalf("%v: round trip mismatch", v)
+		}
+	}
+}
+
+func TestCompressedContainersCarryRightCodec(t *testing.T) {
+	input := genText(16<<10, 2)
+	cases := map[Version]format.Codec{
+		Version1:        format.CodecCULZSSV1,
+		Version2:        format.CodecCULZSSV2,
+		VersionSerial:   format.CodecSerialBitPacked,
+		VersionParallel: format.CodecChunkedBitPacked,
+		VersionBZip2:    format.CodecBZip2,
+	}
+	for v, want := range cases {
+		comp, err := Compress(input, Params{Version: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, _, err := format.ParseHeader(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Codec != want {
+			t.Errorf("%v produced %v, want %v", v, h.Codec, want)
+		}
+	}
+}
+
+func TestSelectVersionFollowsPaperGuidance(t *testing.T) {
+	// Highly compressible (Table II: 13.5%) -> V1.
+	high := datasets.HighlyCompressible(128<<10, 3)
+	if v := SelectVersion(high); v != Version1 {
+		t.Errorf("SelectVersion(highly-compressible) = %v, want V1", v)
+	}
+	// DE-map-like data (34%) -> V1.
+	demap := datasets.DEMap(128<<10, 4)
+	if v := SelectVersion(demap); v != Version1 {
+		t.Errorf("SelectVersion(DE map) = %v, want V1", v)
+	}
+	// ~50%+ text -> V2.
+	cfiles := datasets.CFiles(128<<10, 5)
+	if v := SelectVersion(cfiles); v != Version2 {
+		t.Errorf("SelectVersion(C files) = %v, want V2", v)
+	}
+	dict := datasets.Dictionary(128<<10, 6)
+	if v := SelectVersion(dict); v != Version2 {
+		t.Errorf("SelectVersion(dictionary) = %v, want V2", v)
+	}
+	// Empty input defaults sanely.
+	if v := SelectVersion(nil); v != Version2 {
+		t.Errorf("SelectVersion(nil) = %v", v)
+	}
+}
+
+func TestTuningOverrides(t *testing.T) {
+	input := genText(32<<10, 7)
+	// Window override for GPU versions (§VII tuning API).
+	comp, err := Compress(input, Params{Version: Version1, Window: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := format.ParseHeader(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Window != 64 {
+		t.Fatalf("window = %d, want 64", h.Window)
+	}
+	// Oversized GPU window must be rejected.
+	if _, err := Compress(input, Params{Version: Version2, Window: 1024}); err == nil {
+		t.Fatal("accepted window 1024 on GPU version")
+	}
+	// CPU serial accepts large windows.
+	comp, err = Compress(input, Params{Version: VersionSerial, Window: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(comp, Params{})
+	if err != nil || !bytes.Equal(got, input) {
+		t.Fatalf("serial 8 KiB window round trip failed: %v", err)
+	}
+}
+
+func TestDecompressDispatchesBZip2(t *testing.T) {
+	// A bzip2 container from the baseline package must open through the
+	// same Decompress call.
+	input := genText(64<<10, 8)
+	comp := mustBZip2(t, input)
+	got, err := Decompress(comp, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, input) {
+		t.Fatal("bzip2 dispatch round trip mismatch")
+	}
+}
+
+func TestDecompressRejectsGarbage(t *testing.T) {
+	if _, err := Decompress([]byte("not a container"), Params{}); err == nil {
+		t.Fatal("accepted garbage")
+	}
+}
+
+func TestCompressRejectsUnknownVersion(t *testing.T) {
+	if _, err := Compress([]byte("x"), Params{Version: Version(42)}); err == nil {
+		t.Fatal("accepted unknown version")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "in.dat")
+	cz := filepath.Join(dir, "in.dat.clz")
+	back := filepath.Join(dir, "out.dat")
+	input := genText(48<<10, 9)
+	if err := os.WriteFile(src, input, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CompressFile(src, cz, Params{Version: Version2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecompressFile(cz, back, Params{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, input) {
+		t.Fatal("file round trip mismatch")
+	}
+	if err := CompressFile(filepath.Join(dir, "missing"), cz, Params{}); err == nil {
+		t.Fatal("compressed a missing file")
+	}
+}
+
+func TestStreamingAdapters(t *testing.T) {
+	input := genText(64<<10, 10)
+	var netBuf bytes.Buffer
+	w := NewWriter(&netBuf, Params{Version: Version1})
+	half := len(input) / 2
+	if _, err := w.Write(input[:half]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(input[half:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("more")); err != ErrClosed {
+		t.Fatalf("write after close: %v", err)
+	}
+	if err := w.Close(); err != ErrClosed {
+		t.Fatalf("double close: %v", err)
+	}
+	if netBuf.Len() >= len(input) {
+		t.Fatal("stream not compressed")
+	}
+
+	r, err := NewReader(&netBuf, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != len(input) {
+		t.Fatalf("Reader.Len = %d, want %d", r.Len(), len(input))
+	}
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), input) {
+		t.Fatal("stream round trip mismatch")
+	}
+}
+
+func TestQuickRoundTripAllVersions(t *testing.T) {
+	for _, v := range []Version{Version1, Version2, VersionSerial, VersionParallel} {
+		v := v
+		f := func(data []byte) bool {
+			comp, err := Compress(data, Params{Version: v})
+			if err != nil {
+				return false
+			}
+			got, err := Decompress(comp, Params{})
+			return err == nil && bytes.Equal(got, data)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"culzss/internal/format"
+)
+
+// TestDecompressNeverPanicsOnRandomContainers drives the public entry
+// point with random and half-valid containers: any outcome but a panic.
+func TestDecompressNeverPanicsOnRandomContainers(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+
+	// Pure garbage.
+	for trial := 0; trial < 1000; trial++ {
+		n := rng.Intn(256)
+		garbage := make([]byte, n)
+		rng.Read(garbage)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic on garbage: %v", trial, r)
+				}
+			}()
+			_, _ = Decompress(garbage, Params{})
+		}()
+	}
+
+	// Valid magic + garbage body.
+	for trial := 0; trial < 1000; trial++ {
+		n := 5 + rng.Intn(256)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		copy(buf, format.Magic)
+		buf[4] = format.Version
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic on magic+garbage: %v", trial, r)
+				}
+			}()
+			_, _ = Decompress(buf, Params{})
+		}()
+	}
+
+	// Valid container with mutations.
+	base, err := Compress([]byte("fuzz seed content fuzz seed content fuzz"), Params{Version: Version1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		corrupt := append([]byte(nil), base...)
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			corrupt[rng.Intn(len(corrupt))] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic on mutated container: %v", trial, r)
+				}
+			}()
+			_, _ = Decompress(corrupt, Params{})
+		}()
+	}
+}
+
+// FuzzDecompress is a native fuzz target over the container parser and
+// all decoders (run with `go test -fuzz=FuzzDecompress ./internal/core`).
+func FuzzDecompress(f *testing.F) {
+	seedA, _ := Compress([]byte("seed one: some compressible compressible data"), Params{Version: Version1})
+	seedB, _ := Compress([]byte("seed two"), Params{Version: VersionSerial})
+	f.Add(seedA)
+	f.Add(seedB)
+	f.Add([]byte(format.Magic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Decompress(data, Params{})
+	})
+}

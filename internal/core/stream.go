@@ -1,0 +1,83 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrClosed is returned by Writer operations after Close.
+var ErrClosed = errors.New("core: writer is closed")
+
+// Writer is an io.WriteCloser adapter over Compress for the paper's
+// network-gateway scenario: the application streams plaintext in, and on
+// Close the compressed container is written to the underlying writer.
+//
+// CULZSS is a block compressor — the container layout (chunk table up
+// front) requires the whole input, so Writer buffers until Close. Callers
+// needing bounded memory should segment their stream and emit one
+// container per segment (examples/gateway does exactly that).
+type Writer struct {
+	dst    io.Writer
+	params Params
+	buf    bytes.Buffer
+	closed bool
+}
+
+// NewWriter returns a Writer compressing into dst with the given
+// parameters.
+func NewWriter(dst io.Writer, p Params) *Writer {
+	return &Writer{dst: dst, params: p}
+}
+
+// Write buffers plaintext.
+func (w *Writer) Write(data []byte) (int, error) {
+	if w.closed {
+		return 0, ErrClosed
+	}
+	return w.buf.Write(data)
+}
+
+// Close compresses the buffered plaintext and writes the container to the
+// underlying writer.
+func (w *Writer) Close() error {
+	if w.closed {
+		return ErrClosed
+	}
+	w.closed = true
+	out, err := Compress(w.buf.Bytes(), w.params)
+	if err != nil {
+		return err
+	}
+	if _, err := w.dst.Write(out); err != nil {
+		return fmt.Errorf("core: writing container: %w", err)
+	}
+	return nil
+}
+
+// Reader is an io.Reader serving the decompressed expansion of a
+// container read from the underlying reader.
+type Reader struct {
+	r *bytes.Reader
+}
+
+// NewReader reads one whole container from src, decompresses it, and
+// returns a Reader over the plaintext.
+func NewReader(src io.Reader, p Params) (*Reader, error) {
+	container, err := io.ReadAll(src)
+	if err != nil {
+		return nil, err
+	}
+	out, err := Decompress(container, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{r: bytes.NewReader(out)}, nil
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) { return r.r.Read(p) }
+
+// Len reports the remaining plaintext bytes.
+func (r *Reader) Len() int { return r.r.Len() }

@@ -1,0 +1,54 @@
+package cpulzss
+
+import (
+	"testing"
+
+	"culzss/internal/datasets"
+	"culzss/internal/lzss"
+)
+
+var benchData = datasets.CFiles(512<<10, 77)
+
+func BenchmarkSerialBrute(b *testing.B) {
+	opts := Options{Config: lzss.Config{Window: 128, MaxMatch: 18, MinMatch: 3}}
+	b.SetBytes(int64(len(benchData)))
+	for i := 0; i < b.N; i++ {
+		if _, err := CompressSerial(benchData, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerialHashChain(b *testing.B) {
+	opts := Options{Search: lzss.SearchHashChain}
+	b.SetBytes(int64(len(benchData)))
+	for i := 0; i < b.N; i++ {
+		if _, err := CompressSerial(benchData, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallel(b *testing.B) {
+	opts := Options{Config: lzss.Config{Window: 128, MaxMatch: 18, MinMatch: 3}}
+	b.SetBytes(int64(len(benchData)))
+	for i := 0; i < b.N; i++ {
+		if _, err := CompressParallel(benchData, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	comp, err := CompressSerial(benchData, Options{Search: lzss.SearchHashChain})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(benchData)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(comp, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

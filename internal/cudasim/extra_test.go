@@ -1,0 +1,231 @@
+package cudasim
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPhasedDeterministicAcrossHostWorkers: the functional result and the
+// model counters must not depend on how many host goroutines execute the
+// simulation.
+func TestPhasedDeterministicAcrossHostWorkers(t *testing.T) {
+	d := FermiGTX480()
+	run := func(workers int) (*LaunchReport, []byte) {
+		in := make([]byte, 8192)
+		for i := range in {
+			in[i] = byte(i * 13)
+		}
+		gIn := NewGlobal("in", in)
+		gOut := NewGlobal("out", make([]byte, len(in)))
+		rep, err := d.LaunchPhased(LaunchConfig{
+			Kernel: "det", Blocks: 32, ThreadsPerBlock: 64, SharedPerBlock: 256,
+			Serialization: 0.5, HostWorkers: workers,
+		}, func(b *BlockCtx) {
+			buf := b.Shared(256)
+			b.GlobalReadCoalesced(buf, gIn, b.Index*256)
+			b.Parallel(func(th *ThreadCtx) {
+				for i := th.Tid; i < 256; i += b.NumThreads {
+					buf[i] ^= byte(th.Tid)
+					th.Work(3)
+					th.SharedAccess(1, 1)
+				}
+			})
+			b.GlobalWriteCoalesced(gOut, b.Index*256, buf)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, gOut.Bytes()
+	}
+	rep1, out1 := run(1)
+	rep8, out8 := run(8)
+	if string(out1) != string(out8) {
+		t.Fatal("functional output depends on host workers")
+	}
+	if rep1.WarpCycles != rep8.WarpCycles ||
+		rep1.GlobalTransactions != rep8.GlobalTransactions ||
+		rep1.KernelTime != rep8.KernelTime ||
+		rep1.SaturatedKernelTime != rep8.SaturatedKernelTime {
+		t.Fatalf("model depends on host workers:\n%+v\n%+v", rep1, rep8)
+	}
+}
+
+func TestSaturatedNeverExceedsWaveTime(t *testing.T) {
+	d := FermiGTX480()
+	rep, err := d.LaunchPhased(LaunchConfig{
+		Kernel: "sat", Blocks: 3, ThreadsPerBlock: 32,
+	}, func(b *BlockCtx) {
+		b.Parallel(func(th *ThreadCtx) { th.Work(int64(1000 * (b.Index + 1))) })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SaturatedKernelTime > rep.KernelTime {
+		t.Fatalf("saturated %v > wave %v", rep.SaturatedKernelTime, rep.KernelTime)
+	}
+}
+
+func TestGlobalWriteStrided(t *testing.T) {
+	d := FermiGTX480()
+	g := NewGlobal("dst", make([]byte, 32*64))
+	src := make([]byte, 32*2)
+	for i := range src {
+		src[i] = byte(i + 1)
+	}
+	rep, err := d.LaunchPhased(LaunchConfig{
+		Kernel: "wstrided", Blocks: 1, ThreadsPerBlock: 32,
+	}, func(b *BlockCtx) {
+		b.GlobalWriteStrided(g, 0, 64, 2, 32, src)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lane := 0; lane < 32; lane++ {
+		if g.Bytes()[lane*64] != byte(lane*2+1) || g.Bytes()[lane*64+1] != byte(lane*2+2) {
+			t.Fatalf("lane %d landed wrong", lane)
+		}
+	}
+	if rep.GlobalBytes != 64 {
+		t.Fatalf("GlobalBytes = %d", rep.GlobalBytes)
+	}
+	if rep.GlobalTransactions != 32 { // 64-byte stride: one segment per... two lanes share a 128B segment
+		// lanes at 0,64 share segment 0; 128,192 share 1; etc -> 16.
+		if rep.GlobalTransactions != 16 {
+			t.Fatalf("GlobalTransactions = %d, want 16", rep.GlobalTransactions)
+		}
+	}
+}
+
+func TestStridedBoundsFaults(t *testing.T) {
+	d := FermiGTX480()
+	g := NewGlobal("g", make([]byte, 100))
+	if _, err := d.LaunchPhased(LaunchConfig{Kernel: "oob", Blocks: 1, ThreadsPerBlock: 32},
+		func(b *BlockCtx) {
+			buf := make([]byte, 64)
+			b.GlobalReadStrided(buf, g, 0, 64, 2, 32) // needs (31*64)+2 bytes
+		}); err == nil {
+		t.Fatal("strided OOB read not faulted")
+	}
+	if _, err := d.LaunchPhased(LaunchConfig{Kernel: "oob2", Blocks: 1, ThreadsPerBlock: 32},
+		func(b *BlockCtx) {
+			b.GlobalWriteStrided(g, 0, 64, 2, 32, make([]byte, 64))
+		}); err == nil {
+		t.Fatal("strided OOB write not faulted")
+	}
+	if _, err := d.LaunchPhased(LaunchConfig{Kernel: "small", Blocks: 1, ThreadsPerBlock: 32},
+		func(b *BlockCtx) {
+			buf := make([]byte, 4) // too small for 32 lanes x 1 byte
+			b.GlobalReadStrided(buf, g, 0, 2, 1, 32)
+		}); err == nil {
+		t.Fatal("undersized dst not faulted")
+	}
+}
+
+// TestGoroutineEngineHistogram exercises atomics under real concurrency.
+func TestGoroutineEngineHistogram(t *testing.T) {
+	d := FermiGTX480()
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i % 16)
+	}
+	var hist [16]int32
+	err := d.Launch(8, 128, 0, 0, func(g *GThread) {
+		base := g.BlockIdx * 512
+		for i := g.ThreadIdx; i < 512; i += g.BlockDim {
+			g.AtomicAdd(&hist[data[base+i]], 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range hist {
+		if c != 256 {
+			t.Fatalf("hist[%d] = %d, want 256", v, c)
+		}
+	}
+}
+
+// TestGoroutineEngineBarrierPhases checks that barriers order cross-thread
+// visibility over multiple phases.
+func TestGoroutineEngineBarrierPhases(t *testing.T) {
+	d := FermiGTX480()
+	const tpb = 64
+	var violations atomic.Int32
+	err := d.Launch(4, tpb, tpb, 0, func(g *GThread) {
+		for phase := int32(1); phase <= 8; phase++ {
+			g.Shared[g.ThreadIdx] = phase
+			g.SyncThreads()
+			// Every peer must have published this phase's value.
+			peer := (g.ThreadIdx + 17) % g.BlockDim
+			if g.Shared[peer] != phase {
+				violations.Add(1)
+			}
+			g.SyncThreads()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violations.Load() != 0 {
+		t.Fatalf("%d barrier visibility violations", violations.Load())
+	}
+}
+
+func TestPipelineLongCopies(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	// Copy-bound pipeline: kernels are free, makespan is the copy-engine
+	// serialisation of all H2D + D2H work.
+	slices := []PipelineStage{
+		{H2D: ms(5), Kernel: ms(1), D2H: ms(5)},
+		{H2D: ms(5), Kernel: ms(1), D2H: ms(5)},
+	}
+	got := PipelineSchedule(slices)
+	if got < ms(20) {
+		t.Fatalf("copy-bound pipeline %v under the copy-engine floor 20ms", got)
+	}
+	if got > ms(22) {
+		t.Fatalf("copy-bound pipeline %v too pessimistic", got)
+	}
+}
+
+func TestLaunchReportDetail(t *testing.T) {
+	d := FermiGTX480()
+	g := NewGlobal("src", make([]byte, 1<<16))
+	rep, err := d.LaunchPhased(LaunchConfig{
+		Kernel: "detail", Blocks: 16, ThreadsPerBlock: 128, SharedPerBlock: 4096,
+	}, func(b *BlockCtx) {
+		buf := b.Shared(4096)
+		b.GlobalReadCoalesced(buf, g, b.Index*4096)
+		b.Parallel(func(th *ThreadCtx) {
+			th.Work(500)
+			th.SharedAccess(100, 2)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Detail(d)
+	for _, want := range []string{
+		"kernel \"detail\"", "occupancy", "warp cycles", "transactions",
+		"coalescing", "replay cycles", "wave", "saturated", "bound by",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Detail missing %q:\n%s", want, out)
+		}
+	}
+	// A memory-dominated kernel classifies as bandwidth/latency bound.
+	memRep, err := d.LaunchPhased(LaunchConfig{
+		Kernel: "membound", Blocks: 16, ThreadsPerBlock: 128, SharedPerBlock: 4096,
+	}, func(b *BlockCtx) {
+		buf := b.Shared(4096)
+		b.GlobalReadCoalesced(buf, g, b.Index*4096)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := memRep.Detail(d); !strings.Contains(out, "memory") {
+		t.Errorf("memory-bound kernel misclassified:\n%s", out)
+	}
+}

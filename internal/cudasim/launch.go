@@ -1,0 +1,162 @@
+package cudasim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the reference execution engine: every thread is a real
+// goroutine and SyncThreads is a real reusable barrier. It exists to (a)
+// define the semantics the phased engine's bulk-synchronous model must
+// agree with, and (b) run generic kernels (reductions, histograms, the
+// package's own tests) that are not written in phase style.
+//
+// It is not used for the large compression launches — a goroutine per
+// thread is orders of magnitude more expensive than the phased loops —
+// but any phase-structured kernel can be mechanically rewritten for it.
+
+// barrier is a reusable counting barrier for n parties. A party that dies
+// (kernel panic) breaks the barrier so the surviving parties do not hang.
+type barrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	gen    uint64
+	broken bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n parties have called wait for the current
+// generation, or until the barrier breaks.
+func (b *barrier) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken {
+		return
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen && !b.broken {
+		b.cond.Wait()
+	}
+}
+
+// brk permanently releases all current and future waiters.
+func (b *barrier) brk() {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// GThread is the per-thread context of the goroutine engine.
+type GThread struct {
+	// BlockIdx and ThreadIdx locate the thread in the 1-D grid.
+	BlockIdx  int
+	ThreadIdx int
+	// BlockDim and GridDim describe the launch shape.
+	BlockDim int
+	GridDim  int
+	// Shared is the block's shared memory as 32-bit words (the natural
+	// bank granularity); all threads of a block see the same slice.
+	Shared []int32
+
+	bar *barrier
+}
+
+// SyncThreads blocks until every thread in the block reaches the barrier —
+// CUDA's __syncthreads.
+func (t *GThread) SyncThreads() { t.bar.wait() }
+
+// AtomicAdd atomically adds v to *p and returns the previous value,
+// matching CUDA's atomicAdd.
+func (t *GThread) AtomicAdd(p *int32, v int32) int32 {
+	return atomic.AddInt32(p, v) - v
+}
+
+// AtomicMax atomically stores max(*p, v) and returns the previous value.
+func (t *GThread) AtomicMax(p *int32, v int32) int32 {
+	for {
+		old := atomic.LoadInt32(p)
+		if old >= v || atomic.CompareAndSwapInt32(p, old, v) {
+			return old
+		}
+	}
+}
+
+// Launch runs kernel with blocks x threadsPerBlock real goroutine threads.
+// sharedWords 32-bit words of shared memory are allocated per block.
+// Blocks execute with at most hostWorkers concurrent blocks (0 means
+// GOMAXPROCS). A kernel panic is recovered and returned as an error.
+func (d *Device) Launch(blocks, threadsPerBlock, sharedWords int, hostWorkers int, kernel func(t *GThread)) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if threadsPerBlock < 1 || threadsPerBlock > d.MaxThreadsPerBlock {
+		return fmt.Errorf("cudasim: threads per block %d out of range", threadsPerBlock)
+	}
+	if sharedWords*4 > d.MaxSharedPerBlock {
+		return fmt.Errorf("cudasim: shared %d words exceeds per-block budget", sharedWords)
+	}
+	if hostWorkers <= 0 {
+		hostWorkers = runtime.GOMAXPROCS(0)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, hostWorkers)
+	for b := 0; b < blocks; b++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(b int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			shared := make([]int32, sharedWords)
+			bar := newBarrier(threadsPerBlock)
+			var tg sync.WaitGroup
+			for tid := 0; tid < threadsPerBlock; tid++ {
+				tg.Add(1)
+				go func(tid int) {
+					defer tg.Done()
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if firstErr == nil {
+								firstErr = fmt.Errorf("cudasim: kernel panic in block %d thread %d: %v", b, tid, r)
+							}
+							mu.Unlock()
+							// Release peers stuck at the barrier so the
+							// block can drain after a lane dies.
+							bar.brk()
+						}
+					}()
+					kernel(&GThread{
+						BlockIdx: b, ThreadIdx: tid,
+						BlockDim: threadsPerBlock, GridDim: blocks,
+						Shared: shared, bar: bar,
+					})
+				}(tid)
+			}
+			tg.Wait()
+		}(b)
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,63 @@
+package cudasim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Detail renders a profiler-style breakdown of a launch: the counters,
+// derived rates, and a compute-vs-memory classification — the analysis a
+// CUDA profiler would give for the real kernel.
+func (r *LaunchReport) Detail(d *Device) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "kernel %q: %d blocks x %d threads, %d B shared/block\n",
+		r.Kernel, r.Blocks, r.ThreadsPerBlock, r.SharedPerBlock)
+	fmt.Fprintf(&sb, "  occupancy:     %.0f%% (%d blocks/SM resident)\n", r.Occupancy*100, r.BlocksPerSM)
+	fmt.Fprintf(&sb, "  warp cycles:   %d (divergence-adjusted)\n", r.WarpCycles)
+	fmt.Fprintf(&sb, "  mem stalls:    %d cycles exposed\n", r.MemStallCycles)
+	fmt.Fprintf(&sb, "  global:        %d transactions, %s moved\n",
+		r.GlobalTransactions, byteCount(r.GlobalBytes))
+	if r.GlobalTransactions > 0 {
+		fmt.Fprintf(&sb, "  coalescing:    %.1f bytes useful per 128 B transaction\n",
+			float64(r.GlobalBytes)/float64(r.GlobalTransactions))
+	}
+	fmt.Fprintf(&sb, "  shared:        %d accesses, %d replay cycles from bank conflicts\n",
+		r.SharedAccesses, r.SharedReplayCycles)
+	fmt.Fprintf(&sb, "  kernel time:   %v (wave)  /  %v (saturated)\n",
+		r.KernelTime.Round(time.Microsecond), r.SaturatedKernelTime.Round(time.Microsecond))
+	if r.KernelTime > 0 && d != nil {
+		bwTime := time.Duration(float64(r.GlobalBytes) / d.GlobalBandwidth * float64(time.Second))
+		frac := float64(bwTime) / float64(r.KernelTime)
+		switch {
+		case frac > 0.8:
+			fmt.Fprintf(&sb, "  bound by:      memory bandwidth (%.0f%% of kernel time)\n", frac*100)
+		case float64(r.MemStallCycles) > float64(r.WarpCycles):
+			sb.WriteString("  bound by:      memory latency (stalls exceed compute)\n")
+		default:
+			fmt.Fprintf(&sb, "  bound by:      compute (bandwidth would allow %.1fx)\n", safeInverse(frac))
+		}
+	}
+	fmt.Fprintf(&sb, "  host wall:     %v (simulation cost, not modeled time)\n", r.WallTime.Round(time.Microsecond))
+	return sb.String()
+}
+
+func safeInverse(f float64) float64 {
+	if f <= 0 {
+		return 0
+	}
+	return 1 / f
+}
+
+func byteCount(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

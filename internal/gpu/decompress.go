@@ -1,0 +1,98 @@
+package gpu
+
+import (
+	"fmt"
+	"sync"
+
+	"culzss/internal/cudasim"
+	"culzss/internal/format"
+	"culzss/internal/lzss"
+)
+
+// Decompress expands a CULZSS container with the chunk-parallel GPU
+// decoder (paper §III.C): the per-chunk compressed-size list recorded at
+// compression time tells each thread which slice of the payload decodes
+// into which slice of the output, so chunks decode independently. Both
+// CULZSS versions share this decoder ("the decompression process is
+// identical in both versions").
+func Decompress(container []byte, opts Options) ([]byte, *Report, error) {
+	h, off, err := format.ParseHeader(container)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch h.Codec {
+	case format.CodecCULZSSV1, format.CodecCULZSSV2:
+	default:
+		return nil, nil, fmt.Errorf("gpu: container holds %v, not a CULZSS stream", h.Codec)
+	}
+	cfg := lzss.Config{Window: h.Window, MaxMatch: h.Lookahead, MinMatch: int(h.MinMatch)}
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	opts.fill(h.Codec)
+	dev := opts.device()
+
+	payload := container[off:]
+	bounds := h.ChunkBounds()
+	out := make([]byte, h.OriginalLen)
+	tpb := opts.ThreadsPerBlock
+	blocks := (len(bounds) + tpb - 1) / tpb
+	if blocks == 0 {
+		blocks = 1
+	}
+
+	var faultMu sync.Mutex
+	var faultErr error
+	rep, err := dev.LaunchPhased(cudasim.LaunchConfig{
+		Kernel:          "culzss_decompress",
+		Blocks:          blocks,
+		ThreadsPerBlock: tpb,
+		Serialization:   SerializationDecode,
+		HostWorkers:     opts.HostWorkers,
+	}, func(b *cudasim.BlockCtx) {
+		base := b.Index * tpb
+		b.Parallel(func(th *cudasim.ThreadCtx) {
+			ci := base + th.Tid
+			if ci >= len(bounds) {
+				return
+			}
+			bd := bounds[ci]
+			dst := out[bd.UncompOff:bd.UncompOff:(bd.UncompOff + bd.UncompLen)]
+			dec, derr := lzss.AppendDecodedByteAligned(dst, payload[bd.CompOff:bd.CompOff+bd.CompLen], bd.UncompLen, cfg)
+			if derr != nil {
+				faultMu.Lock()
+				if faultErr == nil {
+					faultErr = fmt.Errorf("gpu: chunk %d: %w", ci, derr)
+				}
+				faultMu.Unlock()
+				return
+			}
+			copy(out[bd.UncompOff:], dec)
+
+			// Timing model: decompression is "mainly reading from and
+			// writing to memory" (paper §IV.D) — a short copy loop per
+			// output byte plus scattered per-thread streaming traffic.
+			th.Work(int64(bd.UncompLen) * CyclesPerDecodedByte)
+			th.GlobalAccess(int64((bd.CompLen+cudasim.TransactionBytes-1)/cudasim.TransactionBytes), int64(bd.CompLen))
+			th.GlobalAccess(int64((bd.UncompLen+cudasim.TransactionBytes-1)/cudasim.TransactionBytes), int64(bd.UncompLen))
+		})
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if faultErr != nil {
+		return nil, nil, faultErr
+	}
+
+	if format.Checksum32(out) != h.Checksum {
+		return nil, nil, format.ErrChecksum
+	}
+	report := &Report{
+		Launch:      rep,
+		H2D:         dev.TransferTime(len(payload)),
+		D2H:         dev.TransferTime(len(out)),
+		InputBytes:  len(container),
+		OutputBytes: len(out),
+	}
+	return out, report, nil
+}

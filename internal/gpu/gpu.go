@@ -1,0 +1,229 @@
+// Package gpu implements the two CULZSS compression kernels and the
+// chunk-parallel decompression kernel on the cudasim device (paper §III.B,
+// §III.C), plus the host-side steps the paper leaves on the CPU: bucket
+// concatenation for Version 1 and the token-selection post-pass for
+// Version 2.
+//
+// # Version 1 — chunk per thread (paper §III.B.1, Figure 3 left)
+//
+// The input is divided into fixed 4 KiB chunks. Each CUDA block receives
+// ThreadsPerBlock chunks; every thread runs the full sequential LZSS loop
+// over its own chunk, keeping its sliding window in shared memory (128
+// threads x 128-byte windows = 16 KiB, which is why the paper notes that
+// 256-512-thread configurations no longer fit, §V). Output goes to a
+// per-chunk bucket; the host concatenates the partially-filled buckets
+// into the final stream. Lanes of a warp each run an independent
+// compressor, so control flow is almost fully divergent: the launch uses a
+// high SIMT serialisation factor.
+//
+// # Version 2 — match per thread (paper §III.B.2, Figure 3 right)
+//
+// Each block owns one 4 KiB chunk and slides over it in tiles of
+// ThreadsPerBlock positions. Per tile the block stages window + tile +
+// lookahead extension into shared memory with one coalesced read, then
+// every thread performs the full window scan for its own position — all
+// positions are searched, including ones inside what will become a match
+// (the redundant work the paper trades for SIMD uniformity). The extended
+// staging gives every thread exactly the window a serial implementation
+// would see (§III.B.2's "extended buffers"). Matches are recorded per
+// position; the serial host post-pass walks them greedily, keeps the
+// surviving tokens, generates the flag bytes, and drops the redundant
+// matches (§III.B.3). Lanes execute the same scan loop, so the launch uses
+// a near-zero serialisation factor — this uniformity is V2's whole point.
+//
+// # Wire format
+//
+// Both kernels emit the byte-aligned token stream of internal/lzss, framed
+// by internal/format with the per-chunk compressed-size table that makes
+// decompression chunk-parallel (§III.C).
+package gpu
+
+import (
+	"fmt"
+	"time"
+
+	"culzss/internal/cudasim"
+	"culzss/internal/format"
+	"culzss/internal/lzss"
+)
+
+// Model constants translating real executed work into simulated cycles.
+// They are the per-lane costs of the kernels' inner loops; DESIGN.md §5
+// describes the model.
+const (
+	// CyclesPerCompare is the per-lane cost of one window byte
+	// comparison in the match loop: address computation, two loads'
+	// issue slots, compare, branch and bookkeeping. The value calibrates
+	// the model's absolute scale to Table I (the paper's V1 at 7.28 s
+	// over 128 MB implies ~1200 SM-cycles per input byte).
+	CyclesPerCompare = 24
+	// CyclesPerOutputByte is the token-emission path per output byte.
+	CyclesPerOutputByte = 6
+	// CyclesPerDecodedByte is the decompression copy path per output byte.
+	CyclesPerDecodedByte = 30
+
+	// SerializationV1 is the SIMT divergence factor of the V1 kernel:
+	// each lane runs an independent sequential compressor. The inner
+	// compare loop is the same instruction sequence on every lane, so
+	// warps partially reconverge; 0.60 calibrates the V1/V2 gap to the
+	// ratios Table I implies (V2 ~1.7x faster on C files, V1 ~3x faster
+	// on the DE map).
+	SerializationV1 = 0.55
+	// SerializationV2 is the divergence factor of the V2 kernel: lanes
+	// run the same window-scan loop over the same-size window (the
+	// paper: "all the threads compare the same number of characters"),
+	// with residual divergence only in match-extension tails.
+	SerializationV2 = 0.13
+	// SerializationDecode is the factor for the chunk-parallel decoder
+	// (divergent like V1, but the loop bodies are trivial copies).
+	SerializationDecode = 0.70
+
+	// uniformScanCap bounds a V2 lane's per-position scan charge at this
+	// many times the window size (the shared-memory staging bounds how
+	// far one lane's lockstep scan can extend before the next reload).
+	uniformScanCap = 2
+)
+
+// DefaultChunkSize is the paper's 4 KiB chunk ("a reasonable choice for an
+// average size of a network packet", §V).
+const DefaultChunkSize = 4096
+
+// DefaultThreadsPerBlock is the paper's best-performing block width
+// (§III.D).
+const DefaultThreadsPerBlock = 128
+
+// Options configures a GPU compression or decompression run.
+type Options struct {
+	// Device is the simulated GPU; nil means cudasim.FermiGTX480().
+	Device *cudasim.Device
+	// ChunkSize is the uncompressed bytes per chunk; 0 means
+	// DefaultChunkSize.
+	ChunkSize int
+	// ThreadsPerBlock is the block width; 0 means DefaultThreadsPerBlock.
+	ThreadsPerBlock int
+	// Config is the LZSS configuration. The zero value selects the preset
+	// matching the kernel (lzss.CULZSSV1 or lzss.CULZSSV2).
+	Config lzss.Config
+	// UseSharedMemory keeps the search buffers in shared memory (the
+	// paper's §III.D optimisation, default). DisableSharedMemory is the
+	// ablation switch that models searching straight from global memory.
+	DisableSharedMemory bool
+	// DisableBankSkew turns off V2's four-character thread stagger
+	// (§III.B.2); only observable on devices with LegacyBankSemantics.
+	DisableBankSkew bool
+	// OverlapHost overlaps the V2 host post-pass with the kernel in the
+	// simulated total, the pipelining the paper describes in §V. Default
+	// false (the paper's measured configuration is sequential).
+	OverlapHost bool
+	// HostWorkers bounds functional host parallelism; 0 means GOMAXPROCS.
+	HostWorkers int
+	// Stats, when non-nil, accumulates match-search counters.
+	Stats *lzss.SearchStats
+}
+
+func (o *Options) device() *cudasim.Device {
+	if o.Device == nil {
+		return cudasim.FermiGTX480()
+	}
+	return o.Device
+}
+
+func (o *Options) fill(version format.Codec) {
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = DefaultChunkSize
+	}
+	if o.ThreadsPerBlock <= 0 {
+		o.ThreadsPerBlock = DefaultThreadsPerBlock
+	}
+	if o.Config == (lzss.Config{}) {
+		if version == format.CodecCULZSSV2 {
+			o.Config = lzss.CULZSSV2()
+		} else {
+			o.Config = lzss.CULZSSV1()
+		}
+	}
+}
+
+// Report describes one GPU run: the kernel launch report plus the modeled
+// transfers and the measured host-side step.
+type Report struct {
+	Launch *cudasim.LaunchReport
+	// H2D and D2H are the modeled PCIe transfer times.
+	H2D, D2H time.Duration
+	// HostTime is the measured duration of the serial host step (bucket
+	// concatenation for V1/decode, token selection + flag generation for
+	// V2). It runs on a real CPU here just as in the paper.
+	HostTime time.Duration
+	// HostOverlapped records whether HostTime was overlapped with the
+	// kernel in SimulatedTotal.
+	HostOverlapped bool
+	// InputBytes and OutputBytes describe the run's data volume.
+	InputBytes, OutputBytes int
+}
+
+// SimulatedTotal is the modeled end-to-end time: transfers + kernel +
+// host step (overlapped with the kernel when the pipelining optimisation
+// is on).
+func (r *Report) SimulatedTotal() time.Duration {
+	return r.total(r.Launch.KernelTime)
+}
+
+// SaturatedTotal is SimulatedTotal with the saturated-device kernel time:
+// the end-to-end time a grid large enough to fill every SM would take
+// per unit of this run's work. Comparisons between kernels at small
+// benchmark sizes use this (the paper's 128 MB runs saturate the device;
+// kilobyte-scale test inputs do not).
+func (r *Report) SaturatedTotal() time.Duration {
+	return r.total(r.Launch.SaturatedKernelTime)
+}
+
+func (r *Report) total(kernel time.Duration) time.Duration {
+	t := r.H2D + r.D2H
+	if r.HostOverlapped {
+		if r.HostTime > kernel {
+			kernel = r.HostTime
+		}
+		return t + kernel
+	}
+	return t + kernel + r.HostTime
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s: %d B -> %d B, kernel %v, h2d %v, d2h %v, host %v, total %v",
+		r.Launch.Kernel, r.InputBytes, r.OutputBytes,
+		r.Launch.KernelTime, r.H2D, r.D2H, r.HostTime, r.SimulatedTotal())
+}
+
+// header builds the container header for a finished run.
+func header(codec format.Codec, cfg lzss.Config, chunkSize int, data []byte, sizes []int) *format.Header {
+	return &format.Header{
+		Codec:       codec,
+		MinMatch:    uint8(cfg.MinMatch),
+		Window:      cfg.Window,
+		Lookahead:   cfg.MaxMatch,
+		ChunkSize:   chunkSize,
+		OriginalLen: len(data),
+		Checksum:    format.Checksum32(data),
+		ChunkSizes:  sizes,
+	}
+}
+
+// assembleContainer performs the host concatenation step (paper §III.B.3:
+// "a final separate process to concatenate only the compressed data into a
+// continuous stream") and returns the container plus the measured host
+// time.
+func assembleContainer(codec format.Codec, cfg lzss.Config, chunkSize int, data []byte, streams [][]byte) ([]byte, time.Duration) {
+	start := time.Now()
+	sizes := make([]int, len(streams))
+	total := 0
+	for i, s := range streams {
+		sizes[i] = len(s)
+		total += len(s)
+	}
+	out := format.AppendHeader(make([]byte, 0, 64+len(sizes)*3+total), header(codec, cfg, chunkSize, data, sizes))
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	return out, time.Since(start)
+}

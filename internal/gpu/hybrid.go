@@ -1,0 +1,179 @@
+package gpu
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"culzss/internal/format"
+	"culzss/internal/lzss"
+)
+
+// CompressV1Hybrid is the §VII heterogeneous extension: "a combined CPU
+// and GPU heterogeneous implementation can give benefits for the
+// execution time". A fraction of the chunks is compressed by host worker
+// goroutines (the pthread path, at the CULZSS configuration so the output
+// stream is identical) while the rest runs on the simulated GPU; the two
+// halves proceed concurrently and the container stitches the chunk
+// streams back in order.
+//
+// cpuFraction in [0,1] is the share of chunks given to the CPU; a
+// negative value asks for an automatic split from a quick throughput
+// probe of both sides.
+type HybridReport struct {
+	GPU *Report
+	// CPUTime is the measured host compression time of the CPU share.
+	CPUTime time.Duration
+	// CPUFraction is the share of chunks the CPU processed.
+	CPUFraction float64
+	InputBytes  int
+	OutputBytes int
+}
+
+// SimulatedTotal overlaps the CPU share with the simulated GPU share.
+func (r *HybridReport) SimulatedTotal() time.Duration {
+	gpuTime := time.Duration(0)
+	if r.GPU != nil {
+		gpuTime = r.GPU.SimulatedTotal()
+	}
+	if r.CPUTime > gpuTime {
+		return r.CPUTime
+	}
+	return gpuTime
+}
+
+// CompressV1Hybrid splits the chunk range between CPU workers and the V1
+// kernel.
+func CompressV1Hybrid(data []byte, opts Options, cpuFraction float64) ([]byte, *HybridReport, error) {
+	if cpuFraction > 1 {
+		return nil, nil, fmt.Errorf("gpu: cpu fraction %v > 1", cpuFraction)
+	}
+	opts.fill(format.CodecCULZSSV1)
+	cfg := opts.Config
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+
+	if cpuFraction < 0 {
+		cpuFraction = autoSplit(data, opts)
+	}
+
+	chunks := format.SplitChunks(data, opts.ChunkSize)
+	nCPU := int(float64(len(chunks)) * cpuFraction)
+	if nCPU > len(chunks) {
+		nCPU = len(chunks)
+	}
+	// The CPU takes the tail so the GPU shard stays chunk-aligned at 0.
+	gpuData := data[:max(0, len(data)-sumLen(chunks[len(chunks)-nCPU:]))]
+
+	rep := &HybridReport{InputBytes: len(data), CPUFraction: cpuFraction}
+	streams := make([][]byte, len(chunks))
+
+	var wg sync.WaitGroup
+	var gpuErr, cpuErr error
+	wg.Add(1)
+	go func() { // CPU share: worker goroutines over the tail chunks.
+		defer wg.Done()
+		start := time.Now()
+		workers := opts.HostWorkers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		sem := make(chan struct{}, workers)
+		var cwg sync.WaitGroup
+		var mu sync.Mutex
+		for i := len(chunks) - nCPU; i < len(chunks); i++ {
+			cwg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer cwg.Done()
+				defer func() { <-sem }()
+				s, err := lzss.EncodeByteAligned(chunks[i], cfg, lzss.SearchBrute, nil)
+				if err != nil {
+					mu.Lock()
+					if cpuErr == nil {
+						cpuErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				streams[i] = s
+			}(i)
+		}
+		cwg.Wait()
+		rep.CPUTime = time.Since(start)
+	}()
+
+	if len(gpuData) > 0 {
+		cont, r, err := CompressV1(gpuData, opts)
+		if err != nil {
+			gpuErr = err
+		} else {
+			h, off, perr := format.ParseHeader(cont)
+			if perr != nil {
+				gpuErr = perr
+			} else {
+				payload := cont[off:]
+				for i, b := range h.ChunkBounds() {
+					streams[i] = payload[b.CompOff : b.CompOff+b.CompLen]
+				}
+				rep.GPU = r
+			}
+		}
+	}
+	wg.Wait()
+	if gpuErr != nil {
+		return nil, nil, gpuErr
+	}
+	if cpuErr != nil {
+		return nil, nil, cpuErr
+	}
+
+	container, _ := assembleContainer(format.CodecCULZSSV1, cfg, opts.ChunkSize, data, streams)
+	rep.OutputBytes = len(container)
+	return container, rep, nil
+}
+
+// autoSplit probes both sides on a small sample and returns the CPU share
+// that balances their finish times.
+func autoSplit(data []byte, opts Options) float64 {
+	sample := data
+	if len(sample) > 128<<10 {
+		sample = sample[:128<<10]
+	}
+	if len(sample) == 0 {
+		return 0
+	}
+	start := time.Now()
+	if _, err := lzss.EncodeByteAligned(sample, opts.Config, lzss.SearchBrute, nil); err != nil {
+		return 0
+	}
+	cpuT := time.Since(start)
+	_, rep, err := CompressV1(sample, opts)
+	if err != nil {
+		return 0
+	}
+	gpuT := rep.SaturatedTotal()
+	// Split inversely proportional to the per-byte times.
+	c, g := float64(cpuT), float64(gpuT)
+	if c+g == 0 {
+		return 0
+	}
+	frac := g / (c + g)
+	if frac < 0.05 {
+		frac = 0
+	}
+	if frac > 0.95 {
+		frac = 0.95
+	}
+	return frac
+}
+
+func sumLen(chunks [][]byte) int {
+	n := 0
+	for _, c := range chunks {
+		n += len(c)
+	}
+	return n
+}

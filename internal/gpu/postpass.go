@@ -1,0 +1,235 @@
+package gpu
+
+import (
+	"fmt"
+	"time"
+
+	"culzss/internal/cudasim"
+	"culzss/internal/format"
+	"culzss/internal/lzss"
+)
+
+// The paper's final §VII item: "Version 2 has additional encoding work
+// left on CPU. These can be ported to GPU or hidden by overlapping
+// computation".
+//
+// The host post-pass walks the per-position match records greedily:
+// from position 0, take the recorded match (jump its length) or a
+// literal (jump 1). That walk is sequential — but it is a traversal of a
+// *functional graph*: every position i has exactly one successor
+//
+//	next(i) = i + max(1, matchLen(i) if >= MinMatch)
+//
+// and the token stream is exactly the set of positions reachable from 0.
+// Reachability in a functional graph parallelises by pointer doubling:
+// build jump tables J_k(i) = next^(2^k)(i) with log n doubling rounds
+// (each a perfectly parallel pass), then grow the reachable set
+// R <- R ∪ J_k(R) round by round; after round k, R holds every
+// next^t(0) with t < 2^(k+1). All rounds are data-parallel scatters —
+// ideal SIMT work — at the price of O(n log n) total operations versus
+// the host's O(n).
+//
+// CompressV2GPUPost runs the V2 pipeline with this kernel doing the
+// token selection; the host then only serialises the pre-selected
+// tokens. Output is byte-identical to CompressV2.
+
+// selectChunkPositions marks, for one chunk, every position the greedy
+// walk visits, using the pointer-doubling rounds described above.
+// matchLen holds the recorded match length per position (0/1 for none).
+// The returned slice has selected[i] == true iff i starts a token.
+func selectChunkPositions(b *cudasim.BlockCtx, matchLen []uint16, minMatch int) []bool {
+	n := len(matchLen)
+	next := make([]int32, n+1) // position n = the terminal node
+	selected := make([]bool, n+1)
+
+	// Phase 1: build next() — one parallel pass.
+	b.Parallel(func(th *cudasim.ThreadCtx) {
+		for i := th.Tid; i < n; i += b.NumThreads {
+			step := 1
+			if l := int(matchLen[i]); l >= minMatch {
+				step = l
+			}
+			j := i + step
+			if j > n {
+				j = n
+			}
+			next[i] = int32(j)
+			th.Work(4)
+		}
+		if th.Tid == 0 {
+			next[n] = int32(n) // terminal self-loop
+		}
+	})
+	// The frontier scatter and the doubling step alternate; each is a
+	// parallel pass over all positions.
+	jump := next
+	selected[0] = true
+	for span := 1; span < n+1; span *= 2 {
+		// R <- R ∪ jump(R): parallel scatter over the whole array.
+		b.Parallel(func(th *cudasim.ThreadCtx) {
+			for i := th.Tid; i <= n; i += b.NumThreads {
+				if selected[i] {
+					selected[jump[i]] = true
+				}
+				th.Work(3)
+				th.SharedAccess(2, 1)
+			}
+		})
+		// jump <- jump ∘ jump (pointer doubling).
+		newJump := make([]int32, n+1)
+		b.Parallel(func(th *cudasim.ThreadCtx) {
+			for i := th.Tid; i <= n; i += b.NumThreads {
+				newJump[i] = jump[jump[i]]
+				th.Work(3)
+				th.SharedAccess(2, 1)
+			}
+		})
+		jump = newJump
+	}
+	return selected[:n]
+}
+
+// CompressV2GPUPost is CompressV2 with the token selection executed as a
+// second GPU kernel (§VII) instead of the serial host walk. The
+// container is byte-identical to CompressV2's; the report's HostTime
+// shrinks to the serialisation step and the kernel time grows by the
+// selection rounds.
+func CompressV2GPUPost(data []byte, opts Options) ([]byte, *Report, error) {
+	// First run the standard V2 matching kernel by reusing CompressV2's
+	// machinery up to the match records. To keep the implementations
+	// honest and separate, the matching kernel runs again here with the
+	// selection kernel appended per block.
+	opts.fill(format.CodecCULZSSV2)
+	dev := opts.device()
+	cfg := opts.Config
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if cfg.Window > 256 || cfg.MaxMatch-cfg.MinMatch > 255 {
+		return nil, nil, fmt.Errorf("gpu: config %+v does not fit the 16-bit token", cfg)
+	}
+
+	chunks := format.SplitChunks(data, opts.ChunkSize)
+	nChunks := len(chunks)
+	tpb := opts.ThreadsPerBlock
+	blocks := nChunks
+	if blocks == 0 {
+		blocks = 1
+	}
+	sharedPerBlock := cfg.Window + tpb + cfg.MaxMatch
+
+	matchLen := make([]uint16, len(data))
+	matchDist := make([]uint8, len(data))
+	selectedPer := make([][]bool, nChunks)
+	statsPer := make([]lzss.SearchStats, nChunks)
+
+	gIn := cudasim.NewGlobal("input", data)
+	rep, err := dev.LaunchPhased(cudasim.LaunchConfig{
+		Kernel:          "culzss_v2_gpupost",
+		Blocks:          blocks,
+		ThreadsPerBlock: tpb,
+		SharedPerBlock:  sharedPerBlock,
+		Serialization:   SerializationV2,
+		HostWorkers:     opts.HostWorkers,
+	}, func(b *cudasim.BlockCtx) {
+		if b.Index >= nChunks {
+			return
+		}
+		chunk := chunks[b.Index]
+		chunkBase := b.Index * opts.ChunkSize
+		st := &statsPer[b.Index]
+		staged := b.Shared(sharedPerBlock)
+
+		for tile := 0; tile < len(chunk); tile += tpb {
+			lo := tile - cfg.Window
+			if lo < 0 {
+				lo = 0
+			}
+			hi := tile + tpb + cfg.MaxMatch
+			if hi > len(chunk) {
+				hi = len(chunk)
+			}
+			region := staged[:hi-lo]
+			b.GlobalReadCoalesced(region, gIn, chunkBase+lo)
+			b.Parallel(func(th *cudasim.ThreadCtx) {
+				pos := tile + th.Tid
+				if pos >= len(chunk) {
+					return
+				}
+				sPos := pos - lo
+				before := st.Comparisons
+				beforeOffs := st.Offsets
+				m := lzss.LongestMatch(region, sPos, sPos-cfg.Window, &cfg, st)
+				matchLen[chunkBase+pos] = uint16(m.Length)
+				matchDist[chunkBase+pos] = uint8(max(m.Distance-1, 0))
+				cmps := st.Comparisons - before
+				offs := st.Offsets - beforeOffs
+				charged := cmps
+				if offs > 0 && offs < int64(cfg.Window) && sPos >= cfg.Window {
+					charged = cmps * int64(cfg.Window) / offs
+				}
+				if cap := int64(cfg.Window) * uniformScanCap; charged > cap {
+					charged = cap
+				}
+				th.Work(charged * CyclesPerCompare)
+				th.SharedAccess(charged*2, 1)
+			})
+		}
+
+		// §VII: the selection, on the GPU.
+		selectedPer[b.Index] = selectChunkPositions(b, matchLen[chunkBase:chunkBase+len(chunk)], cfg.MinMatch)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.Stats != nil {
+		for i := range statsPer {
+			opts.Stats.Add(statsPer[i])
+		}
+	}
+
+	// Host: serialise the pre-selected tokens (no decision-making left).
+	hostStart := time.Now()
+	streams := make([][]byte, nChunks)
+	for ci, chunk := range chunks {
+		chunkBase := ci * opts.ChunkSize
+		sel := selectedPer[ci]
+		w := lzss.NewByteAlignedWriter(&cfg, len(chunk)/2+16)
+		for pos := 0; pos < len(chunk); pos++ {
+			if !sel[pos] {
+				continue
+			}
+			if l := int(matchLen[chunkBase+pos]); l >= cfg.MinMatch {
+				if err := w.Match(lzss.Match{Distance: int(matchDist[chunkBase+pos]) + 1, Length: l}); err != nil {
+					return nil, nil, fmt.Errorf("gpu: gpupost chunk %d: %w", ci, err)
+				}
+			} else {
+				w.Literal(chunk[pos])
+			}
+		}
+		streams[ci] = w.Bytes()
+	}
+	postTime := time.Since(hostStart)
+
+	container, concatTime := assembleContainer(format.CodecCULZSSV2, cfg, opts.ChunkSize, data, streams)
+	report := &Report{
+		Launch:         rep,
+		H2D:            dev.TransferTime(len(data)),
+		D2H:            dev.TransferTime(len(data)/8 + 3*tokenBytes(streams)),
+		HostTime:       postTime + concatTime,
+		HostOverlapped: opts.OverlapHost,
+		InputBytes:     len(data),
+		OutputBytes:    len(container),
+	}
+	return container, report, nil
+}
+
+// tokenBytes sums the emitted stream lengths (the D2H volume shrinks to
+// the selected tokens plus the selection bitmap).
+func tokenBytes(streams [][]byte) int {
+	n := 0
+	for _, s := range streams {
+		n += len(s)
+	}
+	return n
+}

@@ -1,0 +1,151 @@
+package gpu
+
+import (
+	"fmt"
+	"sync"
+
+	"culzss/internal/cudasim"
+	"culzss/internal/format"
+	"culzss/internal/lzss"
+)
+
+// CompressV1 runs the CULZSS Version 1 kernel: chunk-per-thread sequential
+// LZSS with shared-memory windows (paper §III.B.1). It returns the
+// container, the performance report, and an error.
+func CompressV1(data []byte, opts Options) ([]byte, *Report, error) {
+	opts.fill(format.CodecCULZSSV1)
+	dev := opts.device()
+	cfg := opts.Config
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if cfg.Window > 256 || cfg.MaxMatch-cfg.MinMatch > 255 {
+		return nil, nil, fmt.Errorf("gpu: config %+v does not fit the 16-bit token", cfg)
+	}
+
+	chunks := format.SplitChunks(data, opts.ChunkSize)
+	nChunks := len(chunks)
+	tpb := opts.ThreadsPerBlock
+	blocks := (nChunks + tpb - 1) / tpb
+	if blocks == 0 {
+		blocks = 1 // degenerate empty input still "launches"
+	}
+
+	// Per-thread shared budget: the sliding window plus the uncoded
+	// lookahead buffer, one set per thread (this is what caps V1 at 128
+	// threads/block on a 16 KiB part, paper §V).
+	sharedPerThread := cfg.Window + cfg.MaxMatch
+	sharedPerBlock := sharedPerThread * tpb
+	if opts.DisableSharedMemory {
+		sharedPerBlock = 0 // buffers live in global memory instead
+	}
+
+	// Device-side buckets: worst-case capacity per chunk; the host strips
+	// the empty tails afterwards. Functionally each thread encodes out of
+	// its host-mapped chunk slice; the traffic model is charged through
+	// ThreadCtx.GlobalAccess below.
+	bucketCap := lzss.MaxEncodedLenByteAligned(opts.ChunkSize)
+	streams := make([][]byte, nChunks)
+	statsPer := make([]lzss.SearchStats, nChunks)
+	var faultMu sync.Mutex
+	var faultErr error
+
+	rep, err := dev.LaunchPhased(cudasim.LaunchConfig{
+		Kernel:          "culzss_v1",
+		Blocks:          blocks,
+		ThreadsPerBlock: tpb,
+		SharedPerBlock:  sharedPerBlock,
+		Serialization:   SerializationV1,
+		HostWorkers:     opts.HostWorkers,
+	}, func(b *cudasim.BlockCtx) {
+		if sharedPerBlock > 0 {
+			_ = b.Shared(sharedPerBlock) // window+lookahead residency check
+		}
+		base := b.Index * tpb
+		b.Parallel(func(th *cudasim.ThreadCtx) {
+			ci := base + th.Tid
+			if ci >= nChunks {
+				return
+			}
+			chunk := chunks[ci]
+			st := &statsPer[ci]
+			comp, err := lzss.EncodeByteAligned(chunk, cfg, lzss.SearchBrute, st)
+			if err != nil {
+				faultMu.Lock()
+				if faultErr == nil {
+					faultErr = fmt.Errorf("gpu: v1 chunk %d: %w", ci, err)
+				}
+				faultMu.Unlock()
+				return
+			}
+			if len(comp) > bucketCap {
+				faultMu.Lock()
+				if faultErr == nil {
+					faultErr = fmt.Errorf("gpu: v1 chunk %d overflows bucket: %d > %d", ci, len(comp), bucketCap)
+				}
+				faultMu.Unlock()
+				return
+			}
+			streams[ci] = comp
+
+			// --- timing model ---
+			// Compute: the search loop dominated by byte comparisons,
+			// plus the emission path.
+			th.Work(st.Comparisons*CyclesPerCompare + int64(len(comp))*CyclesPerOutputByte)
+			if opts.DisableSharedMemory {
+				// Ablation: every comparison walks global memory. The
+				// lane still issues the two accesses per comparison, and
+				// on top of that each 32-byte group of window bytes is a
+				// fresh transaction (lanes diverge, so nothing coalesces
+				// across the warp) whose latency the launch model exposes.
+				th.Work(st.Comparisons * 2)
+				th.GlobalAccess(st.Comparisons/4+1, st.Comparisons*2)
+			} else {
+				// Window and lookahead live in shared memory. Lanes run
+				// divergent serial loops, so accesses do not line up into
+				// a warp-wide conflict pattern: degree 1, the cost of the
+				// divergence itself is carried by SerializationV1.
+				th.SharedAccess(st.Comparisons*2, 1)
+			}
+			// Input streaming: each lane reads its own chunk, 128-byte
+			// segments of which never coalesce with other lanes'
+			// (stride = ChunkSize >> TransactionBytes).
+			th.GlobalAccess(int64((len(chunk)+cudasim.TransactionBytes-1)/cudasim.TransactionBytes), int64(len(chunk)))
+			// Bucket write-back, equally scattered.
+			th.GlobalAccess(int64((len(comp)+cudasim.TransactionBytes-1)/cudasim.TransactionBytes), int64(len(comp)))
+		})
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if faultErr != nil {
+		return nil, nil, faultErr
+	}
+	if opts.Stats != nil {
+		for i := range statsPer {
+			opts.Stats.Add(statsPer[i])
+		}
+	}
+
+	container, hostTime := assembleContainer(format.CodecCULZSSV1, cfg, opts.ChunkSize, data, streams)
+	report := &Report{
+		Launch:      rep,
+		H2D:         dev.TransferTime(len(data)),
+		D2H:         dev.TransferTime(containerPayloadLen(streams) + 4*nChunks),
+		HostTime:    hostTime,
+		InputBytes:  len(data),
+		OutputBytes: len(container),
+	}
+	return container, report, nil
+}
+
+// containerPayloadLen sums per-chunk stream lengths (the bytes actually
+// copied back: the paper returns "partial full buckets" and copies only
+// the filled prefixes plus the size list).
+func containerPayloadLen(streams [][]byte) int {
+	n := 0
+	for _, s := range streams {
+		n += len(s)
+	}
+	return n
+}

@@ -1,0 +1,184 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"culzss/internal/cudasim"
+	"culzss/internal/datasets"
+	"culzss/internal/gpu"
+	"culzss/internal/lzss"
+	"culzss/internal/stats"
+)
+
+// The §III.D ablations: each isolates one of the paper's design choices
+// and shows its effect in the cudasim model.
+
+// AblationSharedMemory reproduces the "30% speed up over the global memory
+// implementation" claim for V1's shared-memory window staging.
+func AblationSharedMemory(cfg Config) (*Table, error) {
+	cfg.fill()
+	data := datasets.CFiles(cfg.Size, cfg.Seed)
+	t := &Table{
+		Title:   "Ablation — V1 search buffers in shared vs global memory (C files)",
+		Columns: []string{"configuration", "kernel time", "vs shared"},
+		Notes:   []string{"Paper §III.D reports ~30% speed-up from the shared-memory move."},
+	}
+	_, withShared, err := gpu.CompressV1(data, gpu.Options{})
+	if err != nil {
+		return nil, err
+	}
+	_, withoutShared, err := gpu.CompressV1(data, gpu.Options{DisableSharedMemory: true})
+	if err != nil {
+		return nil, err
+	}
+	base := withShared.Launch.KernelTime
+	add := func(name string, r *gpu.Report) {
+		t.Rows = append(t.Rows, []string{
+			name,
+			r.Launch.KernelTime.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.2fx", float64(r.Launch.KernelTime)/float64(base)),
+		})
+	}
+	add("shared memory (paper)", withShared)
+	add("global only (ablation)", withoutShared)
+	return t, nil
+}
+
+// AblationThreadsPerBlock sweeps the block width (paper: "128 threads per
+// block configuration is giving the best performance"). Shapes that cannot
+// be resident (V1's per-thread buffers at 512 threads exceed the SM) are
+// reported as such, reproducing §V's shared-memory limitation.
+func AblationThreadsPerBlock(cfg Config) (*Table, error) {
+	cfg.fill()
+	data := datasets.CFiles(cfg.Size, cfg.Seed)
+	t := &Table{
+		Title:   "Ablation — threads per block (C files)",
+		Columns: []string{"threads/block", "V1 total", "V1 occupancy", "V2 total", "V2 occupancy"},
+		Notes:   []string{"Paper §III.D: 128 threads/block performs best; §V: 256-512 no longer fit V1's buffers."},
+	}
+	for _, tpb := range []int{32, 64, 128, 256, 512} {
+		row := []string{fmt.Sprintf("%d", tpb)}
+		if _, r1, err := gpu.CompressV1(data, gpu.Options{ThreadsPerBlock: tpb}); err != nil {
+			row = append(row, "does not fit", "-")
+		} else {
+			row = append(row, r1.SaturatedTotal().Round(time.Microsecond).String(), fmt.Sprintf("%.2f", r1.Launch.Occupancy))
+		}
+		if _, r2, err := gpu.CompressV2(data, gpu.Options{ThreadsPerBlock: tpb}); err != nil {
+			row = append(row, "does not fit", "-")
+		} else {
+			row = append(row, r2.SaturatedTotal().Round(time.Microsecond).String(), fmt.Sprintf("%.2f", r2.Launch.Occupancy))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// AblationWindowSize sweeps the sliding-window size (paper §III.D: wider
+// windows search longer but match better; 128 bytes is the sweet spot that
+// also fits the 16-bit token).
+func AblationWindowSize(cfg Config) (*Table, error) {
+	cfg.fill()
+	data := datasets.CFiles(cfg.Size, cfg.Seed)
+	t := &Table{
+		Title:   "Ablation — window size, CULZSS V2 (C files)",
+		Columns: []string{"window", "total time", "ratio"},
+		Notes:   []string{"Paper §III.D: best performance at 128 bytes; larger windows need >16-bit tokens."},
+	}
+	for _, w := range []int{32, 64, 128, 256} {
+		cfgLZ := lzss.CULZSSV2()
+		cfgLZ.Window = w
+		comp, r, err := gpu.CompressV2(data, gpu.Options{Config: cfgLZ})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", w),
+			r.SaturatedTotal().Round(time.Microsecond).String(),
+			stats.RatioPercent(len(comp), len(data)),
+		})
+	}
+	return t, nil
+}
+
+// AblationBankSkew shows the effect of V2's four-character thread stagger
+// on a device with pre-Fermi bank semantics (§III.B.2's bank-conflict
+// avoidance; on Fermi the same-word broadcast hides it).
+func AblationBankSkew(cfg Config) (*Table, error) {
+	cfg.fill()
+	data := datasets.CFiles(cfg.Size, cfg.Seed)
+	t := &Table{
+		Title:   "Ablation — V2 thread stagger vs shared-memory bank conflicts (C files)",
+		Columns: []string{"device", "stagger", "kernel time", "bank replay cycles"},
+		Notes:   []string{"Paper §III.B.2 staggers threads by 4 chars to avoid bank conflicts."},
+	}
+	for _, legacy := range []bool{false, true} {
+		dev := cudasim.FermiGTX480()
+		dev.LegacyBankSemantics = legacy
+		name := "Fermi (32 banks, broadcast)"
+		if legacy {
+			name = "G80-style (16 banks, no multicast)"
+		}
+		for _, skew := range []bool{true, false} {
+			_, r, err := gpu.CompressV2(data, gpu.Options{Device: dev, DisableBankSkew: !skew})
+			if err != nil {
+				return nil, err
+			}
+			lbl := "on"
+			if !skew {
+				lbl = "off"
+			}
+			t.Rows = append(t.Rows, []string{
+				name, lbl,
+				r.Launch.KernelTime.Round(time.Microsecond).String(),
+				fmt.Sprintf("%d", r.Launch.SharedReplayCycles),
+			})
+		}
+	}
+	return t, nil
+}
+
+// AblationSearchAlgorithm is the §VII future-work item made real: the
+// serial baseline with brute-force versus hash-chain matching.
+func AblationSearchAlgorithm(cfg Config) (*Table, error) {
+	cfg.fill()
+	t := &Table{
+		Title:   "Extension — serial LZSS search algorithm (§VII future work)",
+		Columns: []string{"dataset", "brute force", "hash chain", "speed-up"},
+		Notes:   []string{"Identical output streams; only the matcher changes."},
+	}
+	for _, ds := range datasets.All() {
+		data := ds.Gen(cfg.Size, cfg.Seed)
+		timeOf := func(search lzss.Search) (time.Duration, error) {
+			best := time.Duration(0)
+			for rep := 0; rep < cfg.Reps; rep++ {
+				start := time.Now()
+				if _, err := (func() ([]byte, error) {
+					return lzss.EncodeBitPacked(data, lzss.Dipperstein(), search, nil)
+				})(); err != nil {
+					return 0, err
+				}
+				d := time.Since(start)
+				if best == 0 || d < best {
+					best = d
+				}
+			}
+			return best, nil
+		}
+		brute, err := timeOf(lzss.SearchBrute)
+		if err != nil {
+			return nil, err
+		}
+		hash, err := timeOf(lzss.SearchHashChain)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			ds.Name,
+			brute.Round(time.Microsecond).String(),
+			hash.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.1fx", stats.Speedup(brute, hash)),
+		})
+	}
+	return t, nil
+}

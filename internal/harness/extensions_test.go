@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestExtensionStreams(t *testing.T) {
+	tab, err := ExtensionStreams(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "1" || tab.Rows[0][2] != "1.00x" {
+		t.Fatalf("baseline row wrong: %v", tab.Rows[0])
+	}
+	if !strings.Contains(tab.Render(), "streams") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestExtensionMultiGPU(t *testing.T) {
+	tab, err := ExtensionMultiGPU(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two datasets x three device counts.
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	out := tab.Render()
+	for _, want := range []string{"C files", "Highly Compr.", "dispatch"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestExtensionHybrid(t *testing.T) {
+	tab, err := ExtensionHybrid(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if !strings.Contains(tab.Rows[3][0], "auto") {
+		t.Fatalf("last row should be the auto split: %v", tab.Rows[3])
+	}
+}
+
+func TestExtensionAutoSelection(t *testing.T) {
+	tab, err := ExtensionAutoSelection(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	picks := map[string]string{}
+	for _, row := range tab.Rows {
+		picks[row[0]] = row[3]
+	}
+	// The §V guidance: V1 for the highly-compressible sets, V2 for text.
+	if picks["Highly Compr."] != "V1" {
+		t.Errorf("auto picked %s for Highly Compr., want V1", picks["Highly Compr."])
+	}
+	if picks["C files"] != "V2" {
+		t.Errorf("auto picked %s for C files, want V2", picks["C files"])
+	}
+	if picks["Dictionary"] != "V2" {
+		t.Errorf("auto picked %s for Dictionary, want V2", picks["Dictionary"])
+	}
+}
+
+func TestExtensionGPUPostPass(t *testing.T) {
+	tab, err := ExtensionGPUPostPass(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if !strings.Contains(tab.Render(), "pointer-doubling") {
+		t.Fatal("render missing note")
+	}
+}
+
+func TestExtensionDeviceSweep(t *testing.T) {
+	tab, err := ExtensionDeviceSweep(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if !strings.Contains(tab.Render(), "Tesla C1060") {
+		t.Fatal("render missing the legacy device")
+	}
+}
+
+func TestExtensionOptimalParse(t *testing.T) {
+	tab, err := ExtensionOptimalParse(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		var g, o float64
+		if _, err := fmt.Sscanf(row[1], "%f%%", &g); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmt.Sscanf(row[2], "%f%%", &o); err != nil {
+			t.Fatal(err)
+		}
+		if o > g+0.01 {
+			t.Errorf("%s: optimal ratio %.2f worse than greedy %.2f", row[0], o, g)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package harness runs the paper's evaluation (§IV): all five systems —
+// serial LZSS, pthread LZSS, BZIP2, CULZSS V1 and CULZSS V2 — over the
+// five datasets, and renders Tables I–III and Figure 4 plus the §III.D
+// ablations.
+//
+// Timing basis: CPU systems report measured wall-clock on this host; GPU
+// systems report the cudasim model's simulated end-to-end time (transfers
+// + kernel + host step). Both bases are recorded in every Result so the
+// output can show them side by side; EXPERIMENTS.md discusses the
+// comparison with the paper's absolute numbers.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"culzss/internal/bzip2"
+	"culzss/internal/bzip2/bwt"
+	"culzss/internal/cpulzss"
+	"culzss/internal/datasets"
+	"culzss/internal/gpu"
+	"culzss/internal/lzss"
+	"culzss/internal/stats"
+)
+
+// System identifiers, in the paper's column order.
+const (
+	SysSerial  = "Serial LZSS"
+	SysPthread = "Pthread LZSS"
+	SysBZip2   = "BZIP2"
+	SysV1      = "CULZSS V1"
+	SysV2      = "CULZSS V2"
+)
+
+// Systems returns the Table I column order.
+func Systems() []string {
+	return []string{SysSerial, SysPthread, SysBZip2, SysV1, SysV2}
+}
+
+// Config shapes an evaluation run.
+type Config struct {
+	// Size is the bytes generated per dataset (the paper used 128 MB;
+	// defaults here are smaller so runs finish in minutes, and the shape
+	// — who wins where — is size-stable).
+	Size int
+	// Reps is the repetition count averaged per cell (paper: 10).
+	Reps int
+	// Seed feeds the dataset generators.
+	Seed int64
+	// Workers is the pthread-version thread count; 0 means GOMAXPROCS.
+	Workers int
+	// SerialSearch selects the serial baseline's matcher. The paper's
+	// serial code is the brute-force scan (default); SearchHashChain runs
+	// the §VII improved-search extension instead.
+	SerialSearch lzss.Search
+	// Saturated reports GPU cells at the saturated-device time (work
+	// spread over every SM) instead of the actual wave schedule. The
+	// paper's 128 MB inputs saturate the GTX 480; inputs under ~32 MiB
+	// leave most SMs idle in V1's chunk-per-thread grid, so saturated
+	// times are the size-independent basis for comparing shapes.
+	Saturated bool
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress func(msg string)
+}
+
+func (c *Config) fill() {
+	if c.Size <= 0 {
+		c.Size = 1 << 20
+	}
+	if c.Reps <= 0 {
+		c.Reps = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 20110926 // CLUSTER 2011 week, for determinism
+	}
+}
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Progress != nil {
+		c.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// cpuBaselineConfig is the LZSS configuration of the serial and pthread
+// baselines: the same 128-byte window / 18-byte lookahead as CULZSS.
+// Table II implies the paper ran its serial baseline this way — its serial
+// ratios sit within a point of V1's on every dataset (54.80% vs 55.70% on
+// C files), which only happens when the dictionaries match; and the
+// serial throughput in Table I (~2.5 MB/s) is 15-20x too fast for a
+// brute-force 4 KiB-window scan on a 2.67 GHz core but exactly right for
+// a 128-byte one.
+var cpuBaselineConfig = lzss.Config{Window: 128, MaxMatch: 18, MinMatch: 3}
+
+// Result is one (dataset, system) cell of the evaluation.
+type Result struct {
+	Dataset string
+	System  string
+
+	OriginalLen   int
+	CompressedLen int
+
+	// Time is the reporting basis: measured wall for CPU systems,
+	// simulated end-to-end for GPU systems (mean over reps).
+	Time time.Duration
+	// Wall is the measured host wall-clock either way (mean over reps).
+	Wall time.Duration
+	// Samples holds the per-rep reporting-basis times.
+	Samples []time.Duration
+
+	// GPU-only extras (nil otherwise).
+	GPUReport *gpu.Report
+	// BZip2-only sort statistics (zero otherwise).
+	SortStats bwt.Stats
+}
+
+// Ratio returns compressed/original.
+func (r *Result) Ratio() float64 { return stats.Ratio(r.CompressedLen, r.OriginalLen) }
+
+// Matrix holds the full evaluation grid.
+type Matrix struct {
+	Datasets []string
+	Systems  []string
+	// Saturated records whether GPU cells report saturated-device times.
+	Saturated bool
+	cells     map[string]*Result
+}
+
+func key(dataset, system string) string { return dataset + "\x00" + system }
+
+// Cell returns the result for (dataset, system), or nil.
+func (m *Matrix) Cell(dataset, system string) *Result { return m.cells[key(dataset, system)] }
+
+func (m *Matrix) put(r *Result) {
+	if m.cells == nil {
+		m.cells = map[string]*Result{}
+	}
+	m.cells[key(r.Dataset, r.System)] = r
+}
+
+// RunCompression produces the compression evaluation grid behind Table I,
+// Table II and Figure 4.
+func RunCompression(cfg Config) (*Matrix, error) {
+	cfg.fill()
+	m := &Matrix{Systems: Systems(), Saturated: cfg.Saturated}
+	for _, ds := range datasets.All() {
+		m.Datasets = append(m.Datasets, ds.Name)
+		data := ds.Gen(cfg.Size, cfg.Seed)
+		for _, sys := range m.Systems {
+			res, err := runCompressionCell(&cfg, ds.Name, sys, data)
+			if err != nil {
+				return nil, fmt.Errorf("%s / %s: %w", ds.Name, sys, err)
+			}
+			m.put(res)
+			cfg.logf("%-14s %-13s time=%-12v ratio=%5.1f%%", ds.Name, sys, res.Time.Round(time.Microsecond), res.Ratio()*100)
+		}
+	}
+	return m, nil
+}
+
+func runCompressionCell(cfg *Config, dsName, sys string, data []byte) (*Result, error) {
+	res := &Result{Dataset: dsName, System: sys, OriginalLen: len(data)}
+	var wallSum time.Duration
+	for rep := 0; rep < cfg.Reps; rep++ {
+		start := time.Now()
+		var (
+			comp   []byte
+			report *gpu.Report
+			err    error
+		)
+		switch sys {
+		case SysSerial:
+			comp, err = cpulzss.CompressSerial(data, cpulzss.Options{Config: cpuBaselineConfig, Search: cfg.SerialSearch})
+		case SysPthread:
+			comp, err = cpulzss.CompressParallel(data, cpulzss.Options{Config: cpuBaselineConfig, Search: cfg.SerialSearch, Workers: cfg.Workers})
+		case SysBZip2:
+			var st bwt.Stats
+			comp, err = bzip2.Compress(data, bzip2.Options{Workers: 1, SortStats: &st})
+			res.SortStats = st
+		case SysV1:
+			comp, report, err = gpu.CompressV1(data, gpu.Options{})
+		case SysV2:
+			comp, report, err = gpu.CompressV2(data, gpu.Options{})
+		default:
+			return nil, fmt.Errorf("unknown system %q", sys)
+		}
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		wallSum += wall
+		basis := wall
+		if report != nil {
+			if cfg.Saturated {
+				basis = report.SaturatedTotal()
+			} else {
+				basis = report.SimulatedTotal()
+			}
+			res.GPUReport = report
+		}
+		res.Samples = append(res.Samples, basis)
+		res.CompressedLen = len(comp)
+	}
+	res.Time = stats.Summarize(res.Samples).Mean
+	res.Wall = wallSum / time.Duration(cfg.Reps)
+	return res, nil
+}
+
+// RunDecompression produces the Table III grid: serial CPU decompression
+// versus the shared CULZSS GPU decompressor, both in-memory (§IV.D).
+func RunDecompression(cfg Config) (*Matrix, error) {
+	cfg.fill()
+	m := &Matrix{Systems: []string{SysSerial, "CULZSS"}, Saturated: cfg.Saturated}
+	for _, ds := range datasets.All() {
+		m.Datasets = append(m.Datasets, ds.Name)
+		data := ds.Gen(cfg.Size, cfg.Seed)
+
+		serialCont, err := cpulzss.CompressSerial(data, cpulzss.Options{Config: cpuBaselineConfig, Search: lzss.SearchHashChain})
+		if err != nil {
+			return nil, err
+		}
+		gpuCont, _, err := gpu.CompressV1(data, gpu.Options{})
+		if err != nil {
+			return nil, err
+		}
+
+		ser := &Result{Dataset: ds.Name, System: SysSerial, OriginalLen: len(data), CompressedLen: len(serialCont)}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			start := time.Now()
+			out, err := cpulzss.Decompress(serialCont, 1)
+			if err != nil {
+				return nil, err
+			}
+			if len(out) != len(data) {
+				return nil, fmt.Errorf("serial decompression length mismatch")
+			}
+			ser.Samples = append(ser.Samples, time.Since(start))
+		}
+		ser.Time = stats.Summarize(ser.Samples).Mean
+		ser.Wall = ser.Time
+		m.put(ser)
+
+		cul := &Result{Dataset: ds.Name, System: "CULZSS", OriginalLen: len(data), CompressedLen: len(gpuCont)}
+		var wallSum time.Duration
+		for rep := 0; rep < cfg.Reps; rep++ {
+			start := time.Now()
+			out, report, err := gpu.Decompress(gpuCont, gpu.Options{})
+			if err != nil {
+				return nil, err
+			}
+			if len(out) != len(data) {
+				return nil, fmt.Errorf("gpu decompression length mismatch")
+			}
+			wallSum += time.Since(start)
+			if cfg.Saturated {
+				cul.Samples = append(cul.Samples, report.SaturatedTotal())
+			} else {
+				cul.Samples = append(cul.Samples, report.SimulatedTotal())
+			}
+			cul.GPUReport = report
+		}
+		cul.Time = stats.Summarize(cul.Samples).Mean
+		cul.Wall = wallSum / time.Duration(cfg.Reps)
+		m.put(cul)
+
+		cfg.logf("%-14s decompression: serial=%v culzss=%v", ds.Name,
+			ser.Time.Round(time.Microsecond), cul.Time.Round(time.Microsecond))
+	}
+	return m, nil
+}

@@ -1,0 +1,82 @@
+package lzss
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestOptimalRoundTrip(t *testing.T) {
+	for name, input := range map[string][]byte{
+		"empty":    {},
+		"single":   {7},
+		"text":     genText(16<<10, 31),
+		"periodic": bytes.Repeat([]byte("abcdefghijklmnopqrst"), 400),
+		"random":   genRandom(8<<10, 32),
+	} {
+		for _, cfg := range []Config{CULZSSV1(), CULZSSV2()} {
+			comp, err := EncodeByteAlignedOptimal(input, cfg, nil)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			got, err := DecodeByteAligned(comp, len(input), cfg)
+			if err != nil || !bytes.Equal(got, input) {
+				t.Fatalf("%s: round trip failed: %v", name, err)
+			}
+		}
+	}
+}
+
+// TestOptimalNeverWorseThanGreedy is the point of the DP: the optimal
+// parse is at most as large as greedy on every input.
+func TestOptimalNeverWorseThanGreedy(t *testing.T) {
+	cfg := CULZSSV2()
+	inputs := [][]byte{
+		genText(32<<10, 33),
+		genRandom(16<<10, 34),
+		bytes.Repeat([]byte("abcabcabd"), 2000),
+		bytes.Repeat([]byte("aab"), 4000),
+	}
+	anyBetter := false
+	for i, input := range inputs {
+		greedy, err := EncodeByteAligned(input, cfg, SearchHashChain, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optimal, err := EncodeByteAlignedOptimal(input, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Allow one byte of slack for the final flag byte's grouping.
+		if len(optimal) > len(greedy)+1 {
+			t.Fatalf("input %d: optimal %d > greedy %d", i, len(optimal), len(greedy))
+		}
+		if len(optimal) < len(greedy) {
+			anyBetter = true
+		}
+	}
+	if !anyBetter {
+		t.Error("optimal parse never beat greedy on any crafted input")
+	}
+}
+
+func TestOptimalQuick(t *testing.T) {
+	cfg := CULZSSV1()
+	f := func(data []byte) bool {
+		comp, err := EncodeByteAlignedOptimal(data, cfg, nil)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeByteAligned(comp, len(data), cfg)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalRejectsBadConfig(t *testing.T) {
+	if _, err := EncodeByteAlignedOptimal([]byte("x"), Dipperstein(), nil); err == nil {
+		t.Fatal("accepted a config that does not fit the byte-aligned token")
+	}
+}

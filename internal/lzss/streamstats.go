@@ -1,0 +1,108 @@
+package lzss
+
+import "fmt"
+
+// StreamStats summarises a parsed token stream: the analysis behind the
+// culzss CLI's -dump flag and the tuner's diagnostics.
+type StreamStats struct {
+	// Literals and Matches count the two token kinds.
+	Literals int
+	Matches  int
+	// MatchedBytes is the number of output bytes covered by matches.
+	MatchedBytes int
+	// MinLen/MaxLen/TotalLen describe match lengths.
+	MinLen, MaxLen, TotalLen int
+	// MinDist/MaxDist/TotalDist describe match distances.
+	MinDist, MaxDist, TotalDist int
+	// LengthHist buckets match lengths: [3-4), [4-8), [8-16), [16-32),
+	// [32-64), [64-128), [128+].
+	LengthHist [7]int
+}
+
+// AnalyzeTokens computes StreamStats over a token sequence.
+func AnalyzeTokens(tokens []Token) StreamStats {
+	var s StreamStats
+	for _, tok := range tokens {
+		if !tok.Coded {
+			s.Literals++
+			continue
+		}
+		m := tok.Match
+		s.Matches++
+		s.MatchedBytes += m.Length
+		s.TotalLen += m.Length
+		s.TotalDist += m.Distance
+		if s.MinLen == 0 || m.Length < s.MinLen {
+			s.MinLen = m.Length
+		}
+		if m.Length > s.MaxLen {
+			s.MaxLen = m.Length
+		}
+		if s.MinDist == 0 || m.Distance < s.MinDist {
+			s.MinDist = m.Distance
+		}
+		if m.Distance > s.MaxDist {
+			s.MaxDist = m.Distance
+		}
+		switch {
+		case m.Length < 4:
+			s.LengthHist[0]++
+		case m.Length < 8:
+			s.LengthHist[1]++
+		case m.Length < 16:
+			s.LengthHist[2]++
+		case m.Length < 32:
+			s.LengthHist[3]++
+		case m.Length < 64:
+			s.LengthHist[4]++
+		case m.Length < 128:
+			s.LengthHist[5]++
+		default:
+			s.LengthHist[6]++
+		}
+	}
+	return s
+}
+
+// OutputBytes is the total uncompressed length the stream expands to.
+func (s StreamStats) OutputBytes() int { return s.Literals + s.MatchedBytes }
+
+// MatchCoverage is the fraction of output bytes produced by matches.
+func (s StreamStats) MatchCoverage() float64 {
+	if out := s.OutputBytes(); out > 0 {
+		return float64(s.MatchedBytes) / float64(out)
+	}
+	return 0
+}
+
+// AvgLen is the mean match length.
+func (s StreamStats) AvgLen() float64 {
+	if s.Matches == 0 {
+		return 0
+	}
+	return float64(s.TotalLen) / float64(s.Matches)
+}
+
+// AvgDist is the mean match distance.
+func (s StreamStats) AvgDist() float64 {
+	if s.Matches == 0 {
+		return 0
+	}
+	return float64(s.TotalDist) / float64(s.Matches)
+}
+
+// String renders a multi-line summary.
+func (s StreamStats) String() string {
+	labels := []string{"3", "4-7", "8-15", "16-31", "32-63", "64-127", "128+"}
+	out := fmt.Sprintf("tokens:        %d literals, %d matches\n", s.Literals, s.Matches)
+	out += fmt.Sprintf("coverage:      %.1f%% of output bytes from matches\n", s.MatchCoverage()*100)
+	if s.Matches > 0 {
+		out += fmt.Sprintf("match length:  min %d, avg %.1f, max %d\n", s.MinLen, s.AvgLen(), s.MaxLen)
+		out += fmt.Sprintf("match dist:    min %d, avg %.1f, max %d\n", s.MinDist, s.AvgDist(), s.MaxDist)
+		out += "length histogram:\n"
+		for i, label := range labels {
+			out += fmt.Sprintf("  %-7s %d\n", label, s.LengthHist[i])
+		}
+	}
+	return out
+}

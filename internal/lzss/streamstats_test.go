@@ -1,0 +1,77 @@
+package lzss
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeTokensBasics(t *testing.T) {
+	tokens := []Token{
+		{Literal: 'a'},
+		{Coded: true, Match: Match{Distance: 1, Length: 5}},
+		{Literal: 'b'},
+		{Coded: true, Match: Match{Distance: 100, Length: 20}},
+		{Coded: true, Match: Match{Distance: 7, Length: 130}},
+	}
+	s := AnalyzeTokens(tokens)
+	if s.Literals != 2 || s.Matches != 3 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.MatchedBytes != 155 || s.OutputBytes() != 157 {
+		t.Fatalf("bytes: %+v", s)
+	}
+	if s.MinLen != 5 || s.MaxLen != 130 {
+		t.Fatalf("lengths: %+v", s)
+	}
+	if s.MinDist != 1 || s.MaxDist != 100 {
+		t.Fatalf("distances: %+v", s)
+	}
+	if s.LengthHist[1] != 1 || s.LengthHist[3] != 1 || s.LengthHist[6] != 1 {
+		t.Fatalf("histogram: %+v", s.LengthHist)
+	}
+	if got := s.MatchCoverage(); got < 0.98 || got > 1 {
+		t.Fatalf("coverage = %v", got)
+	}
+	if s.AvgLen() == 0 || s.AvgDist() == 0 {
+		t.Fatal("averages zero")
+	}
+	str := s.String()
+	for _, want := range []string{"2 literals", "3 matches", "length histogram", "128+"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() missing %q", want)
+		}
+	}
+}
+
+func TestAnalyzeTokensEmpty(t *testing.T) {
+	s := AnalyzeTokens(nil)
+	if s.OutputBytes() != 0 || s.MatchCoverage() != 0 || s.AvgLen() != 0 || s.AvgDist() != 0 {
+		t.Fatalf("empty stats not zero: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestAnalyzeRealStream(t *testing.T) {
+	cfg := CULZSSV1()
+	input := genText(8192, 17)
+	comp, err := EncodeByteAligned(input, cfg, SearchBrute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens, err := ParseTokensByteAligned(comp, len(input), &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := AnalyzeTokens(tokens)
+	if s.OutputBytes() != len(input) {
+		t.Fatalf("OutputBytes = %d, want %d", s.OutputBytes(), len(input))
+	}
+	if s.MaxDist > cfg.Window {
+		t.Fatalf("distance %d beyond window", s.MaxDist)
+	}
+	if s.MaxLen > cfg.MaxMatch {
+		t.Fatalf("length %d beyond max match", s.MaxLen)
+	}
+}

@@ -12,12 +12,20 @@
 // strips it (or appends ".out"). "-" means stdin/stdout, so the tool
 // drops into Unix pipelines: `tar c dir | culzss - - > dir.tar.clz`.
 //
+// -stream switches compression to the framed streaming mode: the input is
+// consumed incrementally and emitted as a sequence of self-describing
+// segment frames (see internal/format), so memory stays bounded at
+// O(segment × workers) no matter how large the pipe is. Decompression
+// sniffs the input magic, so `-d` handles framed streams and bare
+// containers alike; `-info` describes both.
+//
 // Examples:
 //
 //	culzss -version 2 kernel.tar
 //	culzss -version auto -stats big.dat compressed.clz
 //	culzss -d compressed.clz restored.dat
 //	culzss -window 64 -tpb 128 -verify data.bin
+//	tar c dir | culzss -stream -segment 262144 - - | ssh host culzss -d - -
 package main
 
 import (
@@ -55,6 +63,8 @@ func run(args []string) error {
 		verify     = fs.Bool("verify", false, "decompress after compressing and compare")
 		showStats  = fs.Bool("stats", false, "print timing and ratio to stderr")
 		profile    = fs.Bool("profile", false, "print the kernel profiler breakdown to stderr (GPU versions)")
+		stream     = fs.Bool("stream", false, "framed streaming mode: bounded memory, suitable for pipes of any size")
+		segment    = fs.Int("segment", 0, "segment size in bytes for -stream (0 = 1 MiB)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,6 +115,18 @@ func run(args []string) error {
 		}
 		return os.WriteFile(path, data, 0o644)
 	}
+	openInput := func() (io.ReadCloser, error) {
+		if in == "-" {
+			return io.NopCloser(os.Stdin), nil
+		}
+		return os.Open(in)
+	}
+	openOutput := func(path string) (io.WriteCloser, error) {
+		if path == "-" {
+			return nopWriteCloser{os.Stdout}, nil
+		}
+		return os.Create(path)
+	}
 	if *decompress {
 		out := fs.Arg(1)
 		if out == "" {
@@ -118,19 +140,31 @@ func run(args []string) error {
 			}
 		}
 		start := time.Now()
-		container, err := readInput()
+		// core.NewReader sniffs the input: framed streams ("CLZS") decode
+		// incrementally with bounded memory, bare containers ("CLZ1") whole.
+		src, err := openInput()
 		if err != nil {
 			return err
 		}
-		plain, err := core.Decompress(container, params)
+		defer src.Close()
+		r, err := core.NewReader(src, params)
 		if err != nil {
 			return err
 		}
-		if err := writeOutput(out, plain); err != nil {
+		dst, err := openOutput(out)
+		if err != nil {
+			return err
+		}
+		n, err := io.Copy(dst, r)
+		if cerr := dst.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			return err
 		}
 		if *showStats {
-			fmt.Fprintf(os.Stderr, "decompressed %s -> %s in %v\n", in, out, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "decompressed %s -> %s (%s) in %v\n", in, out,
+				stats.FormatBytes(n), time.Since(start).Round(time.Millisecond))
 		}
 		return nil
 	}
@@ -143,6 +177,11 @@ func run(args []string) error {
 			out = in + ".clz"
 		}
 	}
+
+	if *stream {
+		return compressStream(in, out, params, *segment, *showStats, openInput, openOutput)
+	}
+
 	data, err := readInput()
 	if err != nil {
 		return err
@@ -191,6 +230,95 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// nopWriteCloser keeps stdout open across the "-" output path.
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
+
+// countingWriter counts bytes passed through to the underlying writer.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// compressStream runs the framed streaming mode: input is consumed
+// incrementally (never fully buffered), segments compress concurrently,
+// and the output is a self-describing framed stream that decompresses
+// through the ordinary -d path.
+func compressStream(in, out string, params core.Params, segment int, showStats bool,
+	openInput func() (io.ReadCloser, error), openOutput func(string) (io.WriteCloser, error)) error {
+	src, err := openInput()
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	dst, err := openOutput(out)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	cw := &countingWriter{w: dst}
+	w := core.NewWriterOptions(cw, params, core.StreamOptions{SegmentSize: segment})
+	n, err := io.Copy(w, src)
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := dst.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if showStats {
+		fmt.Fprintf(os.Stderr, "%s: %s -> %s framed (ratio %s) in %v\n",
+			in, stats.FormatBytes(n), stats.FormatBytes(cw.n),
+			stats.RatioPercent(int(cw.n), int(n)), time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// describeStream walks a framed stream's records without decompressing
+// payloads.
+func describeStream(path string, f *os.File) error {
+	fr, err := format.NewFrameReader(f)
+	if err != nil {
+		return err
+	}
+	var segments, rawTotal, compTotal int
+	codecs := map[format.Codec]int{}
+	for {
+		frame, trailer, err := fr.Next()
+		if err != nil {
+			return err
+		}
+		if trailer != nil {
+			fmt.Printf("framed stream: %s\n", path)
+			fmt.Printf("segment size:  %d (nominal)\n", fr.SegmentSize)
+			fmt.Printf("segments:      %d\n", segments)
+			for c, n := range codecs {
+				fmt.Printf("codec:         %v (%d segments)\n", c, n)
+			}
+			fmt.Printf("original len:  %s\n", stats.FormatBytes(int64(trailer.TotalLen)))
+			fmt.Printf("framed len:    %s\n", stats.FormatBytes(int64(compTotal)))
+			fmt.Printf("ratio:         %s\n", stats.RatioPercent(compTotal, rawTotal))
+			fmt.Printf("checksum:      %08x\n", trailer.Checksum)
+			return nil
+		}
+		segments++
+		rawTotal += frame.RawLen
+		compTotal += len(frame.Container)
+		if h, _, err := format.ParseHeader(frame.Container); err == nil {
+			codecs[h.Codec]++
+		}
+	}
 }
 
 func dumpTokens(path string) error {
@@ -243,6 +371,19 @@ func dumpTokens(path string) error {
 }
 
 func describe(path string) error {
+	// Framed streams get the frame-walking description.
+	if f, err := os.Open(path); err == nil {
+		var magic [4]byte
+		if _, perr := io.ReadFull(f, magic[:]); perr == nil && string(magic[:]) == format.StreamMagic {
+			if _, serr := f.Seek(0, io.SeekStart); serr != nil {
+				f.Close()
+				return serr
+			}
+			defer f.Close()
+			return describeStream(path, f)
+		}
+		f.Close()
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err

@@ -159,6 +159,83 @@ func TestProfileFlag(t *testing.T) {
 	}
 }
 
+func TestStreamMode(t *testing.T) {
+	dir := t.TempDir()
+	in, data := writeInput(t, dir)
+	framed := filepath.Join(dir, "framed.clzs")
+	if err := run([]string{"-stream", "-segment", "8192", "-stats", "-version", "1", in, framed}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(framed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw[:4]) != "CLZS" {
+		t.Fatalf("-stream did not emit a framed stream (magic %q)", raw[:4])
+	}
+	if len(raw) >= len(data) {
+		t.Fatal("framed stream not compressed")
+	}
+	// -d sniffs the magic, so the same decompress path opens framed streams.
+	back := filepath.Join(dir, "framed.out")
+	if err := run([]string{"-d", framed, back}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(back)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("framed round trip failed: %v", err)
+	}
+	// -info understands framed streams too.
+	if err := run([]string{"-info", framed}); err != nil {
+		t.Fatalf("-info on framed stream: %v", err)
+	}
+}
+
+func TestStreamModePipes(t *testing.T) {
+	dir := t.TempDir()
+	in, data := writeInput(t, dir)
+	inFile, err := os.Open(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inFile.Close()
+	outPath := filepath.Join(dir, "piped.clzs")
+	outFile, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldIn, oldOut := os.Stdin, os.Stdout
+	os.Stdin, os.Stdout = inFile, outFile
+	err = run([]string{"-stream", "-version", "serial", "-", "-"})
+	os.Stdin, os.Stdout = oldIn, oldOut
+	outFile.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decompress the framed stream back through stdin/stdout.
+	cIn, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cIn.Close()
+	backPath := filepath.Join(dir, "piped.out")
+	backFile, err := os.Create(backPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdin, os.Stdout = cIn, backFile
+	err = run([]string{"-d", "-", "-"})
+	os.Stdin, os.Stdout = oldIn, oldOut
+	backFile.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(backPath)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("piped framed round trip failed: %v", err)
+	}
+}
+
 func TestPipeModePaths(t *testing.T) {
 	// Exercise "-" handling through temp-file stdin/stdout redirection.
 	dir := t.TempDir()

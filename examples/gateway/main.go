@@ -5,12 +5,15 @@
 //
 // Topology, all on loopback:
 //
-//	producer --plain--> [ingress gateway] --compressed--> [egress gateway] --plain--> consumer
+//	producer --plain--> [ingress gateway] --framed stream--> [egress gateway] --plain--> consumer
 //
-// The gateways segment the stream (64 KiB segments), compress each segment
-// with the in-memory API, and frame containers with a 4-byte length
-// prefix. The consumer verifies byte identity and the example reports the
-// bandwidth saved on the gateway-to-gateway hop.
+// The gateways speak the framed stream format of internal/format: the
+// ingress wraps its TCP connection in a core.Writer (64 KiB segments,
+// concurrent segment compression, bounded memory), the egress unwraps it
+// with a core.Reader that decodes segment-at-a-time — no hand-rolled
+// length-prefix framing, and neither gateway ever holds the whole
+// transfer. The consumer verifies byte identity and the example reports
+// the bandwidth saved on the gateway-to-gateway hop.
 //
 // Run with:
 //
@@ -19,12 +22,10 @@ package main
 
 import (
 	"bytes"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"log"
 	"net"
-	"sync/atomic"
 
 	"culzss/internal/core"
 	"culzss/internal/datasets"
@@ -33,14 +34,25 @@ import (
 
 const segmentSize = 64 << 10
 
+// countingWriter tallies the bytes crossing the compressed hop.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
 func main() {
 	payload := datasets.KernelTarball(4<<20, 7) // "a file transfer"
 
-	// Egress gateway: accepts compressed segments, forwards plaintext.
 	egressIn := listen()   // compressed hop
 	consumerIn := listen() // plain delivery
 	ingressIn := listen()  // plain ingestion
-	var hopBytes atomic.Int64
+	hop := make(chan int64, 1)
 
 	// Consumer: collects the delivered plaintext.
 	done := make(chan []byte, 1)
@@ -54,56 +66,39 @@ func main() {
 		done <- out
 	}()
 
-	// Egress gateway: compressed in, plain out.
+	// Egress gateway: framed stream in, plain out. core.NewReader decodes
+	// incrementally, so the gateway's memory stays O(segment).
 	go func() {
 		in := accept(egressIn)
 		defer in.Close()
 		out := dial(consumerIn)
 		defer out.Close()
-		for {
-			container, err := readFrame(in)
-			if err == io.EOF {
-				return
-			}
-			if err != nil {
-				log.Fatal("egress:", err)
-			}
-			plain, err := core.Decompress(container, core.Params{})
-			if err != nil {
-				log.Fatal("egress decompress:", err)
-			}
-			if _, err := out.Write(plain); err != nil {
-				log.Fatal("egress forward:", err)
-			}
+		r, err := core.NewReader(in, core.Params{})
+		if err != nil {
+			log.Fatal("egress open stream:", err)
+		}
+		if _, err := io.Copy(out, r); err != nil {
+			log.Fatal("egress forward:", err)
 		}
 	}()
 
-	// Ingress gateway: plain in, compressed out.
+	// Ingress gateway: plain in, framed stream out. The Writer cuts
+	// segments, compresses them concurrently, and emits them in order.
 	go func() {
 		in := accept(ingressIn)
 		defer in.Close()
-		out := dial(egressIn)
-		defer out.Close()
-		buf := make([]byte, segmentSize)
-		for {
-			n, err := io.ReadFull(in, buf)
-			if n > 0 {
-				container, cerr := core.Compress(buf[:n], core.Params{Version: core.VersionAuto})
-				if cerr != nil {
-					log.Fatal("ingress compress:", cerr)
-				}
-				hopBytes.Add(int64(len(container)) + 4)
-				if werr := writeFrame(out, container); werr != nil {
-					log.Fatal("ingress forward:", werr)
-				}
-			}
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return
-			}
-			if err != nil {
-				log.Fatal("ingress:", err)
-			}
+		conn := dial(egressIn)
+		defer conn.Close()
+		cw := &countingWriter{w: conn}
+		w := core.NewWriterOptions(cw, core.Params{Version: core.VersionAuto},
+			core.StreamOptions{SegmentSize: segmentSize})
+		if _, err := io.Copy(w, in); err != nil {
+			log.Fatal("ingress compress:", err)
 		}
+		if err := w.Close(); err != nil {
+			log.Fatal("ingress close:", err)
+		}
+		hop <- cw.n
 	}()
 
 	// Producer: streams the payload into the ingress gateway.
@@ -114,14 +109,15 @@ func main() {
 	prod.Close()
 
 	delivered := <-done
+	hopBytes := <-hop
 	if !bytes.Equal(delivered, payload) {
 		log.Fatal("delivered data differs from what was sent")
 	}
 	fmt.Printf("delivered %s end to end, byte-identical\n", stats.FormatBytes(int64(len(delivered))))
 	fmt.Printf("gateway hop carried %s (%s of the plain size) — %s saved\n",
-		stats.FormatBytes(hopBytes.Load()),
-		stats.RatioPercent(int(hopBytes.Load()), len(payload)),
-		stats.FormatBytes(int64(len(payload))-hopBytes.Load()))
+		stats.FormatBytes(hopBytes),
+		stats.RatioPercent(int(hopBytes), len(payload)),
+		stats.FormatBytes(int64(len(payload))-hopBytes))
 }
 
 func listen() net.Listener {
@@ -146,33 +142,4 @@ func dial(l net.Listener) net.Conn {
 		log.Fatal(err)
 	}
 	return c
-}
-
-func writeFrame(w io.Writer, payload []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
-	return err
-}
-
-func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.ErrUnexpectedEOF {
-			return nil, io.EOF
-		}
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > 64<<20 {
-		return nil, fmt.Errorf("frame of %d bytes implausible", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
-	}
-	return buf, nil
 }

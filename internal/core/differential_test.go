@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"culzss/internal/datasets"
+	"culzss/internal/format"
+)
+
+// differentialCorpus is the shared adversarial corpus every codec must
+// agree on: degenerate sizes, pathological content, and sizes straddling
+// the chunk (4 KiB) and segment boundaries.
+func differentialCorpus(segSize int) map[string][]byte {
+	rng := rand.New(rand.NewSource(97))
+	random := func(n int) []byte {
+		b := make([]byte, n)
+		rng.Read(b)
+		return b
+	}
+	corpus := map[string][]byte{
+		"empty":          {},
+		"one-byte":       {0x42},
+		"all-zeros":      make([]byte, 16<<10),
+		"incompressible": random(32 << 10),
+		"text":           datasets.CFiles(20<<10, 41),
+		"repetitive":     bytes.Repeat([]byte("abcd"), 6<<10/4),
+	}
+	// Chunk-boundary-straddling sizes around the GPU 4 KiB chunk.
+	for _, n := range []int{4095, 4096, 4097, 8191, 8193} {
+		corpus[fmt.Sprintf("chunk-%d", n)] = datasets.KernelTarball(n, int64(n))
+	}
+	// Segment-boundary-straddling sizes for the framed stream mode.
+	for _, d := range []int{-1, 0, 1} {
+		n := segSize + d
+		corpus[fmt.Sprintf("segment%+d", d)] = datasets.DEMap(n, int64(n))
+	}
+	return corpus
+}
+
+// TestDifferentialRoundTripAllCodecs is the cross-codec differential
+// suite: every Version and the framed stream mode must reproduce every
+// corpus entry byte-identically, with matching format.Checksum32, and
+// every codec's container must open through the same Decompress dispatch.
+func TestDifferentialRoundTripAllCodecs(t *testing.T) {
+	const segSize = 8 << 10
+	corpus := differentialCorpus(segSize)
+	versions := []Version{Version1, Version2, VersionSerial, VersionParallel, VersionBZip2}
+
+	for name, input := range corpus {
+		wantSum := format.Checksum32(input)
+		for _, v := range versions {
+			t.Run(fmt.Sprintf("%s/%v", name, v), func(t *testing.T) {
+				container, err := Compress(input, Params{Version: v})
+				if err != nil {
+					t.Fatalf("compress: %v", err)
+				}
+				h, _, err := format.ParseHeader(container)
+				if err != nil {
+					t.Fatalf("container header: %v", err)
+				}
+				if h.OriginalLen != len(input) {
+					t.Fatalf("header OriginalLen = %d, want %d", h.OriginalLen, len(input))
+				}
+				if h.Checksum != wantSum {
+					t.Fatalf("header checksum %08x, want %08x", h.Checksum, wantSum)
+				}
+				got, err := Decompress(container, Params{})
+				if err != nil {
+					t.Fatalf("decompress: %v", err)
+				}
+				if !bytes.Equal(got, input) {
+					t.Fatalf("round trip mismatch: %d bytes in, %d out", len(input), len(got))
+				}
+				if format.Checksum32(got) != wantSum {
+					t.Fatal("decoded checksum differs")
+				}
+			})
+		}
+
+		// The framed stream mode over the same corpus, every version.
+		for _, v := range versions {
+			t.Run(fmt.Sprintf("%s/framed-%v", name, v), func(t *testing.T) {
+				var buf bytes.Buffer
+				w := NewWriterOptions(&buf, Params{Version: v}, StreamOptions{SegmentSize: segSize})
+				if _, err := w.Write(input); err != nil {
+					t.Fatalf("stream write: %v", err)
+				}
+				if err := w.Close(); err != nil {
+					t.Fatalf("stream close: %v", err)
+				}
+				r, err := NewReader(&buf, Params{})
+				if err != nil {
+					t.Fatalf("stream open: %v", err)
+				}
+				got, err := io.ReadAll(r)
+				if err != nil {
+					t.Fatalf("stream read: %v", err)
+				}
+				if !bytes.Equal(got, input) {
+					t.Fatalf("framed round trip mismatch: %d bytes in, %d out", len(input), len(got))
+				}
+				if format.Checksum32(got) != wantSum {
+					t.Fatal("framed decoded checksum differs")
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentialCodecsAgreeOnPlaintext cross-checks the codecs against
+// each other: whatever one compressor wrote, the shared Decompress must
+// recover the exact bytes every other codec also recovered.
+func TestDifferentialCodecsAgreeOnPlaintext(t *testing.T) {
+	input := datasets.Dictionary(24<<10, 55)
+	var decoded [][]byte
+	for _, v := range []Version{Version1, Version2, VersionSerial, VersionParallel, VersionBZip2} {
+		container, err := Compress(input, Params{Version: v})
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		got, err := Decompress(container, Params{})
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		decoded = append(decoded, got)
+	}
+	for i := 1; i < len(decoded); i++ {
+		if !bytes.Equal(decoded[0], decoded[i]) {
+			t.Fatalf("codec %d decoded different plaintext than codec 0", i)
+		}
+	}
+}

@@ -1,71 +1,386 @@
+// Framed streaming: the bounded-memory io.Writer / io.Reader adapters over
+// the block compressor.
+//
+// CULZSS is a block compressor — a single container needs its whole input
+// up front for the chunk table. The paper's gateway scenario ("heavy
+// traffic from millions of users") cannot buffer whole transfers, so the
+// Writer cuts the plaintext into SegmentSize segments, compresses each
+// into an ordinary container through a bounded worker pipeline (mirroring
+// the §VII stream-pipelining idea: segment i+1 compresses while segment i
+// is being emitted), and frames the containers with internal/format's
+// stream records. Peak memory is O(SegmentSize × HostWorkers) regardless
+// of stream length; emission order is the write order.
+//
+// The Reader auto-detects the input: a framed stream ("CLZS") decodes
+// incrementally, one segment at a time; a bare container ("CLZ1") is
+// decompressed whole, preserving the previous adapter behaviour.
 package core
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
+
+	"culzss/internal/format"
+	"culzss/internal/gpu"
+	"culzss/internal/lzss"
 )
 
-// ErrClosed is returned by Writer operations after Close.
+// ErrClosed is returned by Writer.Write after Close.
 var ErrClosed = errors.New("core: writer is closed")
 
-// Writer is an io.WriteCloser adapter over Compress for the paper's
-// network-gateway scenario: the application streams plaintext in, and on
-// Close the compressed container is written to the underlying writer.
+// DefaultSegmentSize is the Writer's default segment granularity. 1 MiB
+// keeps per-worker buffers small while amortising the per-frame header
+// and giving the GPU versions enough chunks per launch to fill the device.
+const DefaultSegmentSize = 1 << 20
+
+// StreamOptions tune the framed stream layer.
+type StreamOptions struct {
+	// SegmentSize is the uncompressed bytes per segment; 0 means
+	// DefaultSegmentSize. Smaller segments lower latency and peak memory,
+	// larger segments improve ratio (more window context) and shrink
+	// framing overhead.
+	SegmentSize int
+	// GPUStreams, when > 1 and the version resolves to the V1 GPU kernel,
+	// compresses each segment through the pipelined copy/execute scheduler
+	// (gpu.CompressV1Streamed) with this many CUDA streams, overlapping
+	// H2D copies with kernel execution in the simulated schedule.
+	GPUStreams int
+}
+
+func (o StreamOptions) segmentSize() int {
+	if o.SegmentSize <= 0 {
+		return DefaultSegmentSize
+	}
+	return o.SegmentSize
+}
+
+// segJob is one segment travelling through the Writer's pipeline.
+type segJob struct {
+	index  int
+	data   []byte // uncompressed segment (buf-pool owned)
+	result chan segResult
+}
+
+type segResult struct {
+	container []byte
+	err       error
+}
+
+// Writer is an io.WriteCloser emitting a framed compressed stream.
 //
-// CULZSS is a block compressor — the container layout (chunk table up
-// front) requires the whole input, so Writer buffers until Close. Callers
-// needing bounded memory should segment their stream and emit one
-// container per segment (examples/gateway does exactly that).
+// Segments are compressed concurrently by HostWorkers workers while a
+// single emitter goroutine writes frames strictly in order, so the output
+// is deterministic for a given input and parameter set. Write blocks when
+// HostWorkers segments are already in flight, which is what bounds peak
+// memory.
+//
+// Close flushes the final partial segment, writes the stream trailer, and
+// tears the worker pool down. A second Close is a no-op returning nil
+// (matching gzip.Writer); Write after Close returns ErrClosed.
 type Writer struct {
-	dst    io.Writer
-	params Params
-	buf    bytes.Buffer
-	closed bool
+	dst     io.Writer
+	params  Params
+	opts    StreamOptions
+	segSize int
+	workers int
+
+	started bool
+	closed  bool
+	buf     []byte // current partial segment; len < segSize
+	index   int    // next segment index
+	total   int    // total plaintext bytes accepted
+	crc     uint32 // running CRC-32 of the plaintext
+
+	jobs     chan *segJob // feeds the compression workers
+	pending  chan *segJob // feeds the in-order emitter; its capacity is the memory bound
+	emitted  chan struct{}
+	workerWG sync.WaitGroup
+	bufPool  sync.Pool
+
+	mu   sync.Mutex
+	werr error // first pipeline error (compression or underlying write)
+
+	statsMu sync.Mutex // serialises merges into params.Stats
+
+	// in-flight accounting, exercised by the bounded-memory test.
+	flightMu  sync.Mutex
+	inFlight  int // bytes of segment buffers currently in the pipeline
+	maxFlight int
 }
 
-// NewWriter returns a Writer compressing into dst with the given
-// parameters.
+// NewWriter returns a framed-stream Writer with default StreamOptions
+// (1 MiB segments).
 func NewWriter(dst io.Writer, p Params) *Writer {
-	return &Writer{dst: dst, params: p}
+	return NewWriterOptions(dst, p, StreamOptions{})
 }
 
-// Write buffers plaintext.
+// NewWriterOptions returns a framed-stream Writer with explicit stream
+// options.
+func NewWriterOptions(dst io.Writer, p Params, o StreamOptions) *Writer {
+	workers := p.HostWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	w := &Writer{
+		dst:     dst,
+		params:  p,
+		opts:    o,
+		segSize: o.segmentSize(),
+		workers: workers,
+	}
+	w.bufPool.New = func() any { return make([]byte, 0, w.segSize) }
+	return w
+}
+
+// start lazily writes the stream header and spins up the pipeline.
+func (w *Writer) start() {
+	if w.started {
+		return
+	}
+	w.started = true
+	if _, err := format.WriteStreamHeader(w.dst, w.segSize); err != nil {
+		w.setErr(fmt.Errorf("core: writing stream header: %w", err))
+	}
+	// pending's capacity is the memory bound: at most cap(pending)+1
+	// segments exist concurrently (one being handed over in flush).
+	w.pending = make(chan *segJob, w.workers)
+	// jobs can hold every in-flight job, so sending to it never blocks
+	// once the pending send has succeeded.
+	w.jobs = make(chan *segJob, w.workers+1)
+	w.emitted = make(chan struct{})
+	for i := 0; i < w.workers; i++ {
+		w.workerWG.Add(1)
+		go w.worker()
+	}
+	go w.emitter()
+}
+
+// worker compresses segments. Results go back through the per-job result
+// channel so the emitter can restore write order.
+func (w *Writer) worker() {
+	defer w.workerWG.Done()
+	for job := range w.jobs {
+		container, err := w.compressSegment(job.data)
+		job.result <- segResult{container: container, err: err}
+	}
+}
+
+// emitter writes frames in submission order. On the first error it stops
+// writing but keeps draining, so Write/Close never deadlock against a
+// full pipeline.
+func (w *Writer) emitter() {
+	defer close(w.emitted)
+	for job := range w.pending {
+		res := <-job.result
+		if res.err != nil {
+			w.setErr(fmt.Errorf("core: segment %d: %w", job.index, res.err))
+		} else if w.err() == nil {
+			if _, err := format.WriteSegmentFrame(w.dst, job.index, len(job.data), res.container); err != nil {
+				w.setErr(fmt.Errorf("core: writing segment frame %d: %w", job.index, err))
+			}
+		}
+		w.release(job)
+	}
+}
+
+// release returns a job's segment buffer to the pool and retires its
+// bytes from the in-flight account.
+func (w *Writer) release(job *segJob) {
+	w.flightMu.Lock()
+	w.inFlight -= cap(job.data)
+	w.flightMu.Unlock()
+	w.bufPool.Put(job.data[:0]) //nolint:staticcheck // slice, not pointer: allocation-free enough here
+	job.data = nil
+}
+
+// compressSegment compresses one segment with the Writer's parameters,
+// optionally routing V1 through the pipelined CUDA-stream scheduler.
+func (w *Writer) compressSegment(data []byte) ([]byte, error) {
+	p := w.params
+	// Workers run concurrently; a shared SearchStats would race. Collect
+	// locally and merge under the stats mutex.
+	var local *lzss.SearchStats
+	if p.Stats != nil {
+		local = new(lzss.SearchStats)
+		p.Stats = local
+	}
+	v := p.Version
+	if v == VersionAuto {
+		v = SelectVersion(data)
+		p.Version = v
+	}
+	var out []byte
+	var err error
+	if v == Version1 && w.opts.GPUStreams > 1 {
+		cfg, cfgErr := p.gpuConfig(Version1)
+		if cfgErr != nil {
+			return nil, cfgErr
+		}
+		out, _, err = gpu.CompressV1Streamed(data, gpu.Options{
+			Device:          p.Device,
+			ChunkSize:       p.ChunkSize,
+			ThreadsPerBlock: p.ThreadsPerBlock,
+			Config:          cfg,
+			HostWorkers:     1, // the segment pipeline is the host parallelism
+			Stats:           local,
+		}, w.opts.GPUStreams)
+	} else {
+		p.HostWorkers = 1 // ditto
+		out, err = Compress(data, p)
+	}
+	if err == nil && local != nil {
+		w.statsMu.Lock()
+		w.params.Stats.Add(*local)
+		w.statsMu.Unlock()
+	}
+	return out, err
+}
+
+func (w *Writer) setErr(err error) {
+	w.mu.Lock()
+	if w.werr == nil {
+		w.werr = err
+	}
+	w.mu.Unlock()
+}
+
+func (w *Writer) err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.werr
+}
+
+// Write accepts plaintext, cutting and dispatching full segments as they
+// accumulate. It blocks when HostWorkers segments are already in flight.
 func (w *Writer) Write(data []byte) (int, error) {
 	if w.closed {
 		return 0, ErrClosed
 	}
-	return w.buf.Write(data)
+	if err := w.err(); err != nil {
+		return 0, err
+	}
+	w.start()
+	if err := w.err(); err != nil {
+		return 0, err // e.g. the stream header failed to write
+	}
+	written := 0
+	for len(data) > 0 {
+		if w.buf == nil {
+			w.buf = w.bufPool.Get().([]byte)
+		}
+		n := w.segSize - len(w.buf)
+		if n > len(data) {
+			n = len(data)
+		}
+		w.buf = append(w.buf, data[:n]...)
+		w.crc = format.Checksum32Update(w.crc, data[:n])
+		w.total += n
+		written += n
+		data = data[n:]
+		if len(w.buf) == w.segSize {
+			if err := w.flushSegment(); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, nil
 }
 
-// Close compresses the buffered plaintext and writes the container to the
-// underlying writer.
+// flushSegment hands the current buffer to the pipeline. The send into
+// pending blocks while HostWorkers segments are in flight — that
+// backpressure is the Writer's memory bound.
+func (w *Writer) flushSegment() error {
+	job := &segJob{index: w.index, data: w.buf, result: make(chan segResult, 1)}
+	w.index++
+	w.buf = nil
+	w.flightMu.Lock()
+	w.inFlight += cap(job.data)
+	if w.inFlight > w.maxFlight {
+		w.maxFlight = w.inFlight
+	}
+	w.flightMu.Unlock()
+	w.pending <- job
+	w.jobs <- job
+	return w.err()
+}
+
+// Close flushes the final partial segment, waits for the pipeline to
+// drain, writes the stream trailer, and reports the first error seen.
+// Closing an empty Writer emits a valid zero-segment stream. A second
+// Close is a no-op returning nil.
 func (w *Writer) Close() error {
 	if w.closed {
-		return ErrClosed
+		return nil
 	}
 	w.closed = true
-	out, err := Compress(w.buf.Bytes(), w.params)
-	if err != nil {
+	w.start()
+	if w.buf != nil && len(w.buf) > 0 {
+		if err := w.flushSegment(); err != nil {
+			// Pipeline already failed; still fall through to teardown.
+			_ = err
+		}
+	}
+	close(w.jobs)
+	close(w.pending)
+	w.workerWG.Wait()
+	<-w.emitted
+	if err := w.err(); err != nil {
 		return err
 	}
-	if _, err := w.dst.Write(out); err != nil {
-		return fmt.Errorf("core: writing container: %w", err)
+	trailer := &format.StreamTrailer{Segments: w.index, TotalLen: w.total, Checksum: w.crc}
+	if _, err := format.WriteStreamTrailer(w.dst, trailer); err != nil {
+		w.setErr(fmt.Errorf("core: writing stream trailer: %w", err))
 	}
-	return nil
+	return w.err()
 }
 
-// Reader is an io.Reader serving the decompressed expansion of a
-// container read from the underlying reader.
+// maxInFlight reports the high-water mark of segment-buffer bytes held by
+// the pipeline (test hook for the memory-bound guarantee).
+func (w *Writer) maxInFlight() int {
+	w.flightMu.Lock()
+	defer w.flightMu.Unlock()
+	return w.maxFlight
+}
+
+// Reader is an io.Reader serving the decompressed expansion of either a
+// framed stream (decoded incrementally, segment at a time, with O(segment)
+// memory) or a bare container (decompressed whole).
 type Reader struct {
-	r *bytes.Reader
+	params Params
+
+	// Legacy single-container mode.
+	legacy *bytes.Reader
+
+	// Framed mode.
+	fr     *format.FrameReader
+	cur    []byte // decoded bytes of the current segment not yet consumed
+	crc    uint32 // running CRC-32 of the plaintext served so far
+	served int
+	done   bool
+	err    error
 }
 
-// NewReader reads one whole container from src, decompresses it, and
-// returns a Reader over the plaintext.
+// NewReader sniffs src and returns a Reader over the plaintext. Framed
+// streams decode lazily: NewReader itself reads only the stream header, so
+// a pipe that has produced only its first frames is readable immediately.
 func NewReader(src io.Reader, p Params) (*Reader, error) {
-	container, err := io.ReadAll(src)
+	br := bufio.NewReader(src)
+	magic, err := br.Peek(len(format.StreamMagic))
+	if err == nil && string(magic) == format.StreamMagic {
+		fr, err := format.NewFrameReader(br)
+		if err != nil {
+			return nil, err
+		}
+		return &Reader{params: p, fr: fr}, nil
+	}
+	// Bare container (or too short / not ours — let Decompress produce
+	// the diagnostic).
+	container, err := io.ReadAll(br)
 	if err != nil {
 		return nil, err
 	}
@@ -73,11 +388,70 @@ func NewReader(src io.Reader, p Params) (*Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Reader{r: bytes.NewReader(out)}, nil
+	return &Reader{params: p, legacy: bytes.NewReader(out)}, nil
 }
 
 // Read implements io.Reader.
-func (r *Reader) Read(p []byte) (int, error) { return r.r.Read(p) }
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.legacy != nil {
+		return r.legacy.Read(p)
+	}
+	if r.err != nil {
+		return 0, r.err
+	}
+	for len(r.cur) == 0 {
+		if r.done {
+			return 0, io.EOF
+		}
+		if err := r.nextSegment(); err != nil {
+			r.err = err
+			return 0, err
+		}
+	}
+	n := copy(p, r.cur)
+	r.cur = r.cur[n:]
+	return n, nil
+}
 
-// Len reports the remaining plaintext bytes.
-func (r *Reader) Len() int { return r.r.Len() }
+// nextSegment decodes the next frame into r.cur, or validates the trailer
+// and marks the stream done.
+func (r *Reader) nextSegment() error {
+	frame, trailer, err := r.fr.Next()
+	if err != nil {
+		return err
+	}
+	if trailer != nil {
+		if trailer.TotalLen != r.served {
+			return fmt.Errorf("%w: trailer says %d plaintext bytes, decoded %d",
+				format.ErrCorrupt, trailer.TotalLen, r.served)
+		}
+		if trailer.Checksum != r.crc {
+			return fmt.Errorf("%w: stream trailer", format.ErrChecksum)
+		}
+		r.done = true
+		return nil
+	}
+	plain, err := Decompress(frame.Container, r.params)
+	if err != nil {
+		return fmt.Errorf("core: segment %d: %w", frame.Index, err)
+	}
+	if len(plain) != frame.RawLen {
+		return fmt.Errorf("%w: segment %d decoded to %d bytes, frame says %d",
+			format.ErrCorrupt, frame.Index, len(plain), frame.RawLen)
+	}
+	r.crc = format.Checksum32Update(r.crc, plain)
+	r.served += len(plain)
+	r.cur = plain
+	return nil
+}
+
+// Len reports the plaintext bytes currently buffered and undelivered. For
+// a bare container that is the whole remainder; for a framed stream it is
+// the unread tail of the current segment (the stream's total length is
+// only known at the trailer).
+func (r *Reader) Len() int {
+	if r.legacy != nil {
+		return r.legacy.Len()
+	}
+	return len(r.cur)
+}

@@ -106,6 +106,13 @@ type Header struct {
 // Checksum32 computes the checksum stored in containers.
 func Checksum32(data []byte) uint32 { return crc32.ChecksumIEEE(data) }
 
+// Checksum32Update extends a running Checksum32 with more data, for
+// streaming producers that never hold the whole plaintext:
+// Checksum32Update(Checksum32(a), b) == Checksum32(append(a, b...)).
+func Checksum32Update(crc uint32, data []byte) uint32 {
+	return crc32.Update(crc, crc32.IEEETable, data)
+}
+
 // AppendHeader appends the encoded header to dst and returns the extended
 // slice.
 func AppendHeader(dst []byte, h *Header) []byte {

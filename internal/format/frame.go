@@ -1,0 +1,302 @@
+// Frame layer: a *framed stream* is a sequence of self-describing segment
+// containers, the bounded-memory transport the paper's network-gateway
+// scenario needs (§VII: "heavy traffic" cannot buffer whole files). One
+// logical stream is cut into segments; each segment is compressed into an
+// ordinary CLZ1 container and wrapped in a frame record, so a receiver can
+// decode segment-at-a-time with O(SegmentSize) memory and detect
+// truncation or corruption before handing bytes to a decompressor.
+//
+// Wire layout (all multi-byte integers are unsigned varints unless noted):
+//
+//	stream header
+//	  magic        4 bytes  "CLZS"
+//	  version      1 byte   frame format version (currently 1)
+//	  flags        1 byte   reserved, must be zero
+//	  segmentSize  varint   nominal uncompressed segment size (advisory)
+//
+//	segment frame, repeated once per segment
+//	  marker       1 byte   0x01
+//	  index        varint   0-based sequence number
+//	  rawLen       varint   uncompressed length of this segment
+//	  compLen      varint   length of the container that follows
+//	  crc          4 bytes  CRC-32 (IEEE) of the container bytes, big endian
+//	  container    compLen bytes  a standard CLZ1 container (any codec)
+//
+//	trailer
+//	  marker       1 byte   0x00
+//	  segments     varint   total number of segment frames
+//	  totalLen     varint   total uncompressed stream length
+//	  crc          4 bytes  CRC-32 (IEEE) of the whole uncompressed stream
+//
+// The per-frame CRC covers the *compressed* container, so a receiver
+// rejects a damaged frame without paying for decompression; the trailer
+// CRC covers the *uncompressed* stream, the end-to-end "data looks the
+// same going in as coming out" guarantee (§III). The trailer marker reuses
+// the frame-marker byte position, so a reader distinguishes "next segment"
+// from "end of stream" with a single byte read.
+package format
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// StreamMagic identifies a CULZSS framed stream. It deliberately shares
+// the "CLZ" prefix with the container magic while staying distinguishable
+// in the fourth byte.
+const StreamMagic = "CLZS"
+
+// StreamVersion is the current frame format version.
+const StreamVersion = 1
+
+// Frame markers (the first byte of every record after the stream header).
+const (
+	frameMarkerTrailer = 0x00
+	frameMarkerSegment = 0x01
+)
+
+// MaxSegmentLen caps the per-segment lengths a reader will accept; frames
+// claiming more are corrupt (and would otherwise let a hostile header
+// drive a huge allocation).
+const MaxSegmentLen = 1 << 30
+
+// Frame-layer errors.
+var (
+	// ErrBadStreamMagic marks input that is not a framed stream.
+	ErrBadStreamMagic = errors.New("format: bad stream magic (not a CULZSS framed stream)")
+	// ErrFrameChecksum marks a segment frame whose container bytes fail
+	// the per-frame CRC.
+	ErrFrameChecksum = errors.New("format: frame checksum mismatch")
+	// ErrFrameOrder marks out-of-sequence segment indices.
+	ErrFrameOrder = errors.New("format: segment frames out of order")
+)
+
+// SegmentFrame is one decoded segment record.
+type SegmentFrame struct {
+	Index     int    // 0-based sequence number
+	RawLen    int    // uncompressed length of the segment
+	Container []byte // the CLZ1 container holding the compressed segment
+}
+
+// StreamTrailer is the end-of-stream record.
+type StreamTrailer struct {
+	Segments int    // number of segment frames in the stream
+	TotalLen int    // total uncompressed length
+	Checksum uint32 // CRC-32 (IEEE) of the whole uncompressed stream
+}
+
+// AppendStreamHeader appends the encoded stream header to dst.
+func AppendStreamHeader(dst []byte, segmentSize int) []byte {
+	dst = append(dst, StreamMagic...)
+	dst = append(dst, StreamVersion, 0)
+	return binary.AppendUvarint(dst, uint64(segmentSize))
+}
+
+// AppendSegmentFrame appends one segment frame (record plus container) to
+// dst.
+func AppendSegmentFrame(dst []byte, index, rawLen int, container []byte) []byte {
+	dst = append(dst, frameMarkerSegment)
+	dst = binary.AppendUvarint(dst, uint64(index))
+	dst = binary.AppendUvarint(dst, uint64(rawLen))
+	dst = binary.AppendUvarint(dst, uint64(len(container)))
+	dst = binary.BigEndian.AppendUint32(dst, Checksum32(container))
+	return append(dst, container...)
+}
+
+// AppendStreamTrailer appends the trailer record to dst.
+func AppendStreamTrailer(dst []byte, t *StreamTrailer) []byte {
+	dst = append(dst, frameMarkerTrailer)
+	dst = binary.AppendUvarint(dst, uint64(t.Segments))
+	dst = binary.AppendUvarint(dst, uint64(t.TotalLen))
+	return binary.BigEndian.AppendUint32(dst, t.Checksum)
+}
+
+// WriteStreamHeader writes the stream header to w and reports the bytes
+// written.
+func WriteStreamHeader(w io.Writer, segmentSize int) (int, error) {
+	return w.Write(AppendStreamHeader(make([]byte, 0, 16), segmentSize))
+}
+
+// WriteSegmentFrame writes one segment frame to w and reports the bytes
+// written.
+func WriteSegmentFrame(w io.Writer, index, rawLen int, container []byte) (int, error) {
+	return w.Write(AppendSegmentFrame(make([]byte, 0, 24+len(container)), index, rawLen, container))
+}
+
+// WriteStreamTrailer writes the trailer to w and reports the bytes
+// written.
+func WriteStreamTrailer(w io.Writer, t *StreamTrailer) (int, error) {
+	return w.Write(AppendStreamTrailer(make([]byte, 0, 16), t))
+}
+
+// frameByteReader is the reader the frame decoder needs: stream reads for
+// container payloads plus single-byte reads for markers and varints.
+type frameByteReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+// FrameReader decodes a framed stream incrementally: one Next call per
+// record, holding at most one segment's container in memory.
+type FrameReader struct {
+	r frameByteReader
+	// SegmentSize is the advisory nominal segment size from the stream
+	// header.
+	SegmentSize int
+
+	nextIndex int
+	rawTotal  int
+	trailer   *StreamTrailer
+	err       error
+}
+
+// NewFrameReader parses the stream header from r and returns a reader for
+// the frames that follow. Inputs not starting with StreamMagic fail with
+// ErrBadStreamMagic.
+func NewFrameReader(r io.Reader) (*FrameReader, error) {
+	br, ok := r.(frameByteReader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, ErrTruncated
+		}
+		return nil, err
+	}
+	if string(magic[:]) != StreamMagic {
+		return nil, ErrBadStreamMagic
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, eofToTruncated(err)
+	}
+	if version != StreamVersion {
+		return nil, fmt.Errorf("%w: stream version %d", ErrBadVersion, version)
+	}
+	flags, err := br.ReadByte()
+	if err != nil {
+		return nil, eofToTruncated(err)
+	}
+	if flags != 0 {
+		return nil, fmt.Errorf("%w: nonzero stream flags %#x", ErrCorrupt, flags)
+	}
+	segSize, err := readVarint(br)
+	if err != nil {
+		return nil, err
+	}
+	return &FrameReader{r: br, SegmentSize: segSize}, nil
+}
+
+// Next decodes the next record. It returns (frame, nil, nil) for a segment
+// frame, (nil, trailer, nil) at the end-of-stream trailer, and a non-nil
+// error for truncated or corrupt input. After the trailer (or an error),
+// further calls return io.EOF (or the sticky error).
+func (fr *FrameReader) Next() (*SegmentFrame, *StreamTrailer, error) {
+	if fr.err != nil {
+		return nil, nil, fr.err
+	}
+	if fr.trailer != nil {
+		return nil, nil, io.EOF
+	}
+	frame, trailer, err := fr.next()
+	if err != nil {
+		fr.err = err
+		return nil, nil, err
+	}
+	if trailer != nil {
+		fr.trailer = trailer
+	}
+	return frame, trailer, nil
+}
+
+func (fr *FrameReader) next() (*SegmentFrame, *StreamTrailer, error) {
+	marker, err := fr.r.ReadByte()
+	if err != nil {
+		// A stream must end with a trailer; EOF here is truncation.
+		return nil, nil, eofToTruncated(err)
+	}
+	switch marker {
+	case frameMarkerSegment:
+		index, err := readVarint(fr.r)
+		if err != nil {
+			return nil, nil, err
+		}
+		if index != fr.nextIndex {
+			return nil, nil, fmt.Errorf("%w: got segment %d, want %d", ErrFrameOrder, index, fr.nextIndex)
+		}
+		rawLen, err := readVarint(fr.r)
+		if err != nil {
+			return nil, nil, err
+		}
+		compLen, err := readVarint(fr.r)
+		if err != nil {
+			return nil, nil, err
+		}
+		if rawLen > MaxSegmentLen || compLen > MaxSegmentLen {
+			return nil, nil, fmt.Errorf("%w: implausible segment lengths raw=%d comp=%d", ErrCorrupt, rawLen, compLen)
+		}
+		var crc [4]byte
+		if _, err := io.ReadFull(fr.r, crc[:]); err != nil {
+			return nil, nil, eofToTruncated(err)
+		}
+		container := make([]byte, compLen)
+		if _, err := io.ReadFull(fr.r, container); err != nil {
+			return nil, nil, eofToTruncated(err)
+		}
+		if Checksum32(container) != binary.BigEndian.Uint32(crc[:]) {
+			return nil, nil, fmt.Errorf("%w: segment %d", ErrFrameChecksum, index)
+		}
+		fr.nextIndex++
+		fr.rawTotal += rawLen
+		return &SegmentFrame{Index: index, RawLen: rawLen, Container: container}, nil, nil
+	case frameMarkerTrailer:
+		segments, err := readVarint(fr.r)
+		if err != nil {
+			return nil, nil, err
+		}
+		totalLen, err := readVarint(fr.r)
+		if err != nil {
+			return nil, nil, err
+		}
+		var crc [4]byte
+		if _, err := io.ReadFull(fr.r, crc[:]); err != nil {
+			return nil, nil, eofToTruncated(err)
+		}
+		t := &StreamTrailer{Segments: segments, TotalLen: totalLen, Checksum: binary.BigEndian.Uint32(crc[:])}
+		if t.Segments != fr.nextIndex {
+			return nil, nil, fmt.Errorf("%w: trailer counts %d segments, stream carried %d", ErrCorrupt, t.Segments, fr.nextIndex)
+		}
+		if t.TotalLen != fr.rawTotal {
+			return nil, nil, fmt.Errorf("%w: trailer totalLen %d, segment rawLens sum to %d", ErrCorrupt, t.TotalLen, fr.rawTotal)
+		}
+		return nil, t, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown frame marker %#x", ErrCorrupt, marker)
+	}
+}
+
+// readVarint decodes one bounded unsigned varint from r.
+func readVarint(r io.ByteReader) (int, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, eofToTruncated(err)
+	}
+	if v > 1<<40 {
+		return 0, fmt.Errorf("%w: implausible varint %d", ErrCorrupt, v)
+	}
+	return int(v), nil
+}
+
+// eofToTruncated maps mid-record EOFs onto ErrTruncated: a framed stream
+// only legally ends immediately after its trailer.
+func eofToTruncated(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return ErrTruncated
+	}
+	return err
+}

@@ -7,6 +7,7 @@ import (
 
 	"culzss/internal/cudasim"
 	"culzss/internal/datasets"
+	"culzss/internal/lzss"
 )
 
 // --- §VII streaming (pipelined copy/execute) ---------------------------
@@ -60,6 +61,29 @@ func TestStreamedPipelineOverlaps(t *testing.T) {
 func TestStreamedRejectsBadCount(t *testing.T) {
 	if _, _, err := CompressV1Streamed([]byte("x"), Options{}, 0); err == nil {
 		t.Fatal("accepted zero streams")
+	}
+	// Validation must run before the empty-input early return: bad stream
+	// counts and bad configs error consistently for every input length.
+	if _, _, err := CompressV1Streamed(nil, Options{}, 0); err == nil {
+		t.Fatal("accepted zero streams on empty input")
+	}
+}
+
+func TestStreamedValidatesConfigBeforeEmptyReturn(t *testing.T) {
+	bad := Options{Config: lzss.Config{Window: 1024, MaxMatch: 66, MinMatch: 2}}
+	if _, _, err := CompressV1Streamed([]byte("data"), bad, 2); err == nil {
+		t.Fatal("accepted oversized window")
+	}
+	if _, _, err := CompressV1Streamed(nil, bad, 2); err == nil {
+		t.Fatal("accepted oversized window on empty input")
+	}
+	// A config that overflows the 16-bit token must also fail either way.
+	wide := Options{Config: lzss.Config{Window: 128, MaxMatch: 300, MinMatch: 2}}
+	if _, _, err := CompressV1Streamed([]byte("data"), wide, 2); err == nil {
+		t.Fatal("accepted token-overflowing config")
+	}
+	if _, _, err := CompressV1Streamed(nil, wide, 2); err == nil {
+		t.Fatal("accepted token-overflowing config on empty input")
 	}
 }
 

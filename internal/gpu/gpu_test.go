@@ -226,6 +226,9 @@ func TestV2FasterThanV1OnText(t *testing.T) {
 	// Table I shape: on ~50%-compressible text V2's uniform kernel beats
 	// V1's divergent one in simulated time. The word-soup genText is too
 	// repetitive to stand in for source text; use the C-files generator.
+	if raceEnabled {
+		t.Skip("race detector inflates the measured V2 host post-pass, distorting the model comparison")
+	}
 	input := datasets.CFiles(256<<10, 10)
 	_, r1, err := CompressV1(input, Options{})
 	if err != nil {
@@ -243,6 +246,9 @@ func TestV2FasterThanV1OnText(t *testing.T) {
 func TestV1FasterThanV2OnHighlyCompressible(t *testing.T) {
 	// Table I shape, DE-map / highly-compressible rows: V1 skips matched
 	// spans, V2 pays the redundant search for every position.
+	if raceEnabled {
+		t.Skip("race detector inflates the measured host steps, distorting the model comparison")
+	}
 	input := genPeriodic(256 << 10)
 	_, r1, err := CompressV1(input, Options{})
 	if err != nil {

@@ -16,10 +16,18 @@ import (
 // changes. The report's H2D/D2H are folded into the pipelined kernel
 // span, and HostTime remains the serial concatenation.
 func CompressV1Streamed(data []byte, opts Options, streams int) ([]byte, *Report, error) {
+	// Validate everything before the empty-input early return so bad
+	// stream counts and bad configs error consistently for every input.
 	if streams < 1 {
 		return nil, nil, fmt.Errorf("gpu: need >= 1 stream, got %d", streams)
 	}
 	opts.fill(format.CodecCULZSSV1)
+	if err := opts.Config.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if opts.Config.Window > 256 || opts.Config.MaxMatch-opts.Config.MinMatch > 255 {
+		return nil, nil, fmt.Errorf("gpu: config %+v does not fit the 16-bit token", opts.Config)
+	}
 	if len(data) == 0 {
 		return CompressV1(data, opts)
 	}

@@ -84,15 +84,20 @@ func TestPaperShapeHolds(t *testing.T) {
 		}
 	}
 	// V2 wins the three text-like sets, V1 the two highly-compressible
-	// ones (Table I / §V).
-	for _, ds := range []string{"C files", "Dictionary", "Kernel tarball"} {
-		if !(gpuTime(ds, SysV2) < gpuTime(ds, SysV1)) {
-			t.Errorf("%s: V2 (%v) not faster than V1 (%v)", ds, gpuTime(ds, SysV2), gpuTime(ds, SysV1))
+	// ones (Table I / §V). V2's total folds in a *measured* host post-pass
+	// that the race detector inflates ~10x while V1's simulated kernel
+	// time is untouched, so the cross-comparison is meaningless under
+	// -race (see race_on_test.go).
+	if !raceEnabled {
+		for _, ds := range []string{"C files", "Dictionary", "Kernel tarball"} {
+			if !(gpuTime(ds, SysV2) < gpuTime(ds, SysV1)) {
+				t.Errorf("%s: V2 (%v) not faster than V1 (%v)", ds, gpuTime(ds, SysV2), gpuTime(ds, SysV1))
+			}
 		}
-	}
-	for _, ds := range []string{"DE Map", "Highly Compr."} {
-		if !(gpuTime(ds, SysV1) < gpuTime(ds, SysV2)) {
-			t.Errorf("%s: V1 (%v) not faster than V2 (%v)", ds, gpuTime(ds, SysV1), gpuTime(ds, SysV2))
+		for _, ds := range []string{"DE Map", "Highly Compr."} {
+			if !(gpuTime(ds, SysV1) < gpuTime(ds, SysV2)) {
+				t.Errorf("%s: V1 (%v) not faster than V2 (%v)", ds, gpuTime(ds, SysV1), gpuTime(ds, SysV2))
+			}
 		}
 	}
 	// BZIP2's pathology (paper: 77.8s on highly-compressible vs 9-21s

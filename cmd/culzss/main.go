@@ -26,9 +26,17 @@
 //	culzss -d compressed.clz restored.dat
 //	culzss -window 64 -tpb 128 -verify data.bin
 //	tar c dir | culzss -stream -segment 262144 - - | ssh host culzss -d - -
+//	culzss -d -salvage damaged.clzs recovered.dat   # skip damaged segments
+//
+// Exit codes distinguish failure classes so scripts can react: 0 success,
+// 1 generic failure, 2 corrupt input (bad checksums, damaged records,
+// wrong magic), 3 truncated input (the stream ends mid-record or without
+// its trailer). With -salvage the tool writes every recoverable segment
+// and still exits 2 or 3 so the damage is not silent.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -45,8 +53,35 @@ import (
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "culzss:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// Exit codes (see package comment).
+const (
+	exitGeneric   = 1
+	exitCorrupt   = 2
+	exitTruncated = 3
+)
+
+// exitCode classifies err into the tool's exit codes. Truncation wins
+// over corruption when both apply (a truncated tail is reported through a
+// corrupt-segment record in salvage mode).
+func exitCode(err error) int {
+	if errors.Is(err, format.ErrTruncated) {
+		return exitTruncated
+	}
+	var cse *format.CorruptSegmentError
+	if errors.As(err, &cse) ||
+		errors.Is(err, format.ErrCorrupt) ||
+		errors.Is(err, format.ErrChecksum) ||
+		errors.Is(err, format.ErrFrameChecksum) ||
+		errors.Is(err, format.ErrFrameOrder) ||
+		errors.Is(err, format.ErrBadMagic) ||
+		errors.Is(err, format.ErrBadStreamMagic) {
+		return exitCorrupt
+	}
+	return exitGeneric
 }
 
 func run(args []string) error {
@@ -65,6 +100,7 @@ func run(args []string) error {
 		profile    = fs.Bool("profile", false, "print the kernel profiler breakdown to stderr (GPU versions)")
 		stream     = fs.Bool("stream", false, "framed streaming mode: bounded memory, suitable for pipes of any size")
 		segment    = fs.Int("segment", 0, "segment size in bytes for -stream (0 = 1 MiB)")
+		salvage    = fs.Bool("salvage", false, "with -d: best-effort decode of a damaged framed stream, skipping damaged segments")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -147,7 +183,15 @@ func run(args []string) error {
 			return err
 		}
 		defer src.Close()
-		r, err := core.NewReader(src, params)
+		ropts := core.ReaderOptions{Salvage: *salvage}
+		if *salvage {
+			// Damage is reported as it is discovered, before the next
+			// intact segment is served.
+			ropts.OnCorrupt = func(cse *format.CorruptSegmentError) {
+				fmt.Fprintln(os.Stderr, "culzss: salvage:", cse)
+			}
+		}
+		r, err := core.NewReaderOptions(src, params, ropts)
 		if err != nil {
 			return err
 		}
@@ -165,6 +209,27 @@ func run(args []string) error {
 		if *showStats {
 			fmt.Fprintf(os.Stderr, "decompressed %s -> %s (%s) in %v\n", in, out,
 				stats.FormatBytes(n), time.Since(start).Round(time.Millisecond))
+		}
+		if damaged := r.CorruptSegments(); len(damaged) > 0 {
+			// Every recoverable byte was written; still fail loudly so the
+			// damage cannot pass unnoticed in scripts.
+			regions, truncated := 0, false
+			for _, cse := range damaged {
+				// A region whose cause is truncation (the cut tail, or the
+				// missing-trailer marker) classifies the input as truncated;
+				// anything else is in-stream corruption.
+				if cse.Index == -1 || errors.Is(cse.Err, format.ErrTruncated) {
+					truncated = true
+				} else {
+					regions++
+				}
+			}
+			cause := error(format.ErrTruncated)
+			if regions > 0 {
+				cause = format.ErrCorrupt
+			}
+			return fmt.Errorf("salvage: recovered %s, but input had %d damaged region(s) (truncated: %v): %w",
+				stats.FormatBytes(n), regions, truncated, cause)
 		}
 		return nil
 	}

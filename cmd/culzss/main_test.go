@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -265,5 +266,132 @@ func TestPipeModePaths(t *testing.T) {
 	got, err := os.ReadFile(back)
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("pipe round trip failed: %v", err)
+	}
+}
+
+// damageStream compresses data as a framed stream, applies corrupt to the
+// stream bytes, and writes the result to a new file in dir.
+func damageStream(t *testing.T, dir string, in string, segment int, corrupt func([]byte) []byte) string {
+	t.Helper()
+	framed := filepath.Join(dir, "framed.clzs")
+	if err := run([]string{"-stream", "-version", "serial", "-segment", itoa(segment), in, framed}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(framed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damaged := filepath.Join(dir, "damaged.clzs")
+	if err := os.WriteFile(damaged, corrupt(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return damaged
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+// TestSalvageFlag: a mid-stream bit flip fails a strict decode with the
+// corrupt exit code, while -salvage recovers every segment but the
+// damaged one and still signals the damage.
+func TestSalvageFlag(t *testing.T) {
+	dir := t.TempDir()
+	in, data := writeInput(t, dir)
+	const segment = 16 << 10
+	damaged := damageStream(t, dir, in, segment, func(raw []byte) []byte {
+		raw[len(raw)/2] ^= 0x40 // inside some segment's container
+		return raw
+	})
+
+	// Strict decode refuses the stream and classifies it as corrupt.
+	strictOut := filepath.Join(dir, "strict.dat")
+	err := run([]string{"-d", damaged, strictOut})
+	if err == nil {
+		t.Fatal("strict decode of damaged stream succeeded")
+	}
+	if code := exitCode(err); code != exitCorrupt {
+		t.Fatalf("strict decode: exit code %d, want %d (err: %v)", code, exitCorrupt, err)
+	}
+
+	// Salvage decode writes the intact segments and still fails loudly.
+	salvOut := filepath.Join(dir, "salvaged.dat")
+	err = run([]string{"-d", "-salvage", damaged, salvOut})
+	if err == nil {
+		t.Fatal("salvage decode reported success for a damaged stream")
+	}
+	if code := exitCode(err); code != exitCorrupt {
+		t.Fatalf("salvage decode: exit code %d, want %d (err: %v)", code, exitCorrupt, err)
+	}
+	got, rerr := os.ReadFile(salvOut)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	// Exactly one segment should be missing: the recovered stream must
+	// equal the original with one whole segment excised.
+	if bytes.Equal(got, data) {
+		t.Fatal("salvage claims damage but recovered everything")
+	}
+	found := false
+	for off := 0; off < len(data); off += segment {
+		end := off + segment
+		if end > len(data) {
+			end = len(data)
+		}
+		without := append(append([]byte{}, data[:off]...), data[end:]...)
+		if bytes.Equal(got, without) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("salvaged output (%d bytes) is not the original (%d bytes) minus one segment",
+			len(got), len(data))
+	}
+}
+
+// TestExitCodeTruncated: a stream cut short is classified as truncated,
+// and salvage still recovers every complete segment.
+func TestExitCodeTruncated(t *testing.T) {
+	dir := t.TempDir()
+	in, data := writeInput(t, dir)
+	const segment = 16 << 10
+	damaged := damageStream(t, dir, in, segment, func(raw []byte) []byte {
+		return raw[:len(raw)-5] // cuts into the trailer (9 bytes), leaving every segment intact
+	})
+
+	strictOut := filepath.Join(dir, "strict.dat")
+	err := run([]string{"-d", damaged, strictOut})
+	if err == nil {
+		t.Fatal("strict decode of truncated stream succeeded")
+	}
+	if code := exitCode(err); code != exitTruncated {
+		t.Fatalf("strict decode: exit code %d, want %d (err: %v)", code, exitTruncated, err)
+	}
+
+	salvOut := filepath.Join(dir, "salvaged.dat")
+	err = run([]string{"-d", "-salvage", damaged, salvOut})
+	if err == nil {
+		t.Fatal("salvage decode reported success for a truncated stream")
+	}
+	if code := exitCode(err); code != exitTruncated {
+		t.Fatalf("salvage decode: exit code %d, want %d (err: %v)", code, exitTruncated, err)
+	}
+	got, rerr := os.ReadFile(salvOut)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	// Only the trailer was lost; every segment should be intact.
+	if !bytes.Equal(got, data) {
+		t.Fatalf("salvage of trailer-truncated stream recovered %d bytes, want all %d", len(got), len(data))
+	}
+}
+
+// TestExitCodeGeneric: non-format failures stay on the generic exit code.
+func TestExitCodeGeneric(t *testing.T) {
+	err := run([]string{filepath.Join(t.TempDir(), "missing"), "out"})
+	if err == nil {
+		t.Fatal("expected error for missing input")
+	}
+	if code := exitCode(err); code != exitGeneric {
+		t.Fatalf("exit code %d, want %d", code, exitGeneric)
 	}
 }

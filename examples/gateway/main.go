@@ -15,6 +15,16 @@
 // transfer. The consumer verifies byte identity and the example reports
 // the bandwidth saved on the gateway-to-gateway hop.
 //
+// A production gateway also cannot die when its accelerator does, so this
+// example arms the seeded fault-injection layer (internal/faults) with a
+// persistently failing GPU launch site: every segment's kernel launches
+// fail, the Writer's retry policy exhausts its attempts, and each segment
+// degrades to the host-only CPU encoder. The transfer still completes
+// byte-identical — the gateway serves in degraded mode instead of dying —
+// and the example reports the retry/degrade counters. The egress opens
+// the stream in salvage mode, so a damaged hop would cost only the
+// damaged segments, not the connection.
+//
 // Run with:
 //
 //	go run ./examples/gateway
@@ -26,9 +36,12 @@ import (
 	"io"
 	"log"
 	"net"
+	"time"
 
 	"culzss/internal/core"
 	"culzss/internal/datasets"
+	"culzss/internal/faults"
+	"culzss/internal/format"
 	"culzss/internal/stats"
 )
 
@@ -67,13 +80,21 @@ func main() {
 	}()
 
 	// Egress gateway: framed stream in, plain out. core.NewReader decodes
-	// incrementally, so the gateway's memory stays O(segment).
+	// incrementally, so the gateway's memory stays O(segment). Salvage
+	// mode means a damaged hop costs the damaged segments, not the
+	// connection: intact segments keep flowing and each skipped region is
+	// reported.
 	go func() {
 		in := accept(egressIn)
 		defer in.Close()
 		out := dial(consumerIn)
 		defer out.Close()
-		r, err := core.NewReader(in, core.Params{})
+		r, err := core.NewReaderOptions(in, core.Params{}, core.ReaderOptions{
+			Salvage: true,
+			OnCorrupt: func(cse *format.CorruptSegmentError) {
+				log.Print("egress: salvage skipped damaged region: ", cse)
+			},
+		})
 		if err != nil {
 			log.Fatal("egress open stream:", err)
 		}
@@ -84,20 +105,36 @@ func main() {
 
 	// Ingress gateway: plain in, framed stream out. The Writer cuts
 	// segments, compresses them concurrently, and emits them in order.
+	//
+	// The injector makes every simulated kernel launch fail — a GPU that
+	// has wedged mid-service. The Writer retries each segment with backoff
+	// and then degrades it to the host-only encoder, so the gateway keeps
+	// serving instead of dying.
+	degraded := make(chan core.WriterStats, 1)
 	go func() {
 		in := accept(ingressIn)
 		defer in.Close()
 		conn := dial(egressIn)
 		defer conn.Close()
 		cw := &countingWriter{w: conn}
-		w := core.NewWriterOptions(cw, core.Params{Version: core.VersionAuto},
-			core.StreamOptions{SegmentSize: segmentSize})
+		params := core.Params{
+			Version:  core.Version1,
+			Injector: faults.New(42).Always(faults.SiteLaunch),
+		}
+		w := core.NewWriterOptions(cw, params, core.StreamOptions{
+			SegmentSize: segmentSize,
+			Retry: core.RetryPolicy{
+				MaxAttempts: 2, // fail fast in the demo; default is 3
+				BaseBackoff: 500 * time.Microsecond,
+			},
+		})
 		if _, err := io.Copy(w, in); err != nil {
 			log.Fatal("ingress compress:", err)
 		}
 		if err := w.Close(); err != nil {
 			log.Fatal("ingress close:", err)
 		}
+		degraded <- w.Stats()
 		hop <- cw.n
 	}()
 
@@ -109,11 +146,14 @@ func main() {
 	prod.Close()
 
 	delivered := <-done
+	ws := <-degraded
 	hopBytes := <-hop
 	if !bytes.Equal(delivered, payload) {
 		log.Fatal("delivered data differs from what was sent")
 	}
 	fmt.Printf("delivered %s end to end, byte-identical\n", stats.FormatBytes(int64(len(delivered))))
+	fmt.Printf("gateway rode out a dead GPU: %d/%d segments degraded to the CPU encoder after %d retries\n",
+		ws.Degraded, ws.Segments, ws.Retries)
 	fmt.Printf("gateway hop carried %s (%s of the plain size) — %s saved\n",
 		stats.FormatBytes(hopBytes),
 		stats.RatioPercent(int(hopBytes), len(payload)),

@@ -21,6 +21,7 @@ import (
 	"culzss/internal/bzip2"
 	"culzss/internal/cpulzss"
 	"culzss/internal/cudasim"
+	"culzss/internal/faults"
 	"culzss/internal/format"
 	"culzss/internal/gpu"
 	"culzss/internal/lzss"
@@ -94,6 +95,11 @@ type Params struct {
 	HostWorkers int
 	// Stats, when non-nil, accumulates search statistics.
 	Stats *lzss.SearchStats
+	// Injector, when non-nil, arms the seeded fault-injection layer
+	// (internal/faults) on the GPU paths: kernel launches, simulated
+	// transfers, and per-chunk decode probe it for injected failures.
+	// Production callers leave it nil; the nil Injector is inert.
+	Injector *faults.Injector
 }
 
 // Info describes the detected (simulated) device, the paper's
@@ -199,6 +205,7 @@ func CompressWithReport(data []byte, p Params) ([]byte, *gpu.Report, error) {
 			Config:          cfg,
 			HostWorkers:     p.HostWorkers,
 			Stats:           p.Stats,
+			Injector:        p.Injector,
 		}
 		if v == Version1 {
 			return gpu.CompressV1(data, opts)
@@ -246,6 +253,7 @@ func DecompressWithReport(container []byte, p Params) ([]byte, *gpu.Report, erro
 	case format.CodecCULZSSV1, format.CodecCULZSSV2:
 		return gpu.Decompress(container, gpu.Options{
 			Device: p.Device, ThreadsPerBlock: p.ThreadsPerBlock, HostWorkers: p.HostWorkers,
+			Injector: p.Injector,
 		})
 	case format.CodecSerialBitPacked, format.CodecChunkedBitPacked:
 		out, err := cpulzss.Decompress(container, p.HostWorkers)

@@ -19,11 +19,14 @@ package core
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"culzss/internal/format"
 	"culzss/internal/gpu"
@@ -50,6 +53,70 @@ type StreamOptions struct {
 	// (gpu.CompressV1Streamed) with this many CUDA streams, overlapping
 	// H2D copies with kernel execution in the simulated schedule.
 	GPUStreams int
+	// Retry bounds the per-segment retry/degrade policy for the GPU
+	// versions. The zero value means up to 3 attempts with 1ms..50ms
+	// jittered exponential backoff, then CPU fallback.
+	Retry RetryPolicy
+	// Context, when non-nil, cancels the Writer's pipeline: Write and
+	// Close fail with the context's error once it is done, and in-flight
+	// segment compressions stop between retry attempts. nil means
+	// context.Background().
+	Context context.Context
+}
+
+// RetryPolicy bounds how hard the Writer fights for a segment before
+// giving up on the GPU path. Failures of the CPU versions are
+// deterministic and never retried; GPU-path failures (launch faults,
+// transfer faults, chunk faults — all of which the fault-injection layer
+// can produce) are retried with exponential backoff plus jitter, and a
+// segment that still fails after MaxAttempts degrades to the host-only
+// encoder gpu.CompressV1CPU, which emits a bit-compatible container (for
+// Version1, bit-identical), so one flaky device never kills the stream.
+type RetryPolicy struct {
+	// MaxAttempts is the number of GPU attempts per segment (including
+	// the first); 0 means 3.
+	MaxAttempts int
+	// BaseBackoff is the nominal delay before the first retry; each
+	// further retry doubles it. 0 means 1ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the per-retry delay; 0 means 50ms.
+	MaxBackoff time.Duration
+	// DisableFallback turns the CPU degrade path off: a segment that
+	// exhausts MaxAttempts fails the stream instead.
+	DisableFallback bool
+}
+
+func (r RetryPolicy) maxAttempts() int {
+	if r.MaxAttempts <= 0 {
+		return 3
+	}
+	return r.MaxAttempts
+}
+
+func (r RetryPolicy) baseBackoff() time.Duration {
+	if r.BaseBackoff <= 0 {
+		return time.Millisecond
+	}
+	return r.BaseBackoff
+}
+
+func (r RetryPolicy) maxBackoff() time.Duration {
+	if r.MaxBackoff <= 0 {
+		return 50 * time.Millisecond
+	}
+	return r.MaxBackoff
+}
+
+// WriterStats reports the Writer's retry/degrade activity.
+type WriterStats struct {
+	// Segments is the number of segments the pipeline processed.
+	Segments int
+	// Retries is the total number of extra GPU attempts beyond each
+	// segment's first.
+	Retries int
+	// Degraded is the number of segments that fell back to the CPU
+	// encoder after exhausting their GPU attempts.
+	Degraded int
 }
 
 func (o StreamOptions) segmentSize() int {
@@ -68,6 +135,8 @@ type segJob struct {
 
 type segResult struct {
 	container []byte
+	retries   int  // extra GPU attempts this segment consumed
+	degraded  bool // segment fell back to the CPU encoder
 	err       error
 }
 
@@ -88,6 +157,7 @@ type Writer struct {
 	opts    StreamOptions
 	segSize int
 	workers int
+	ctx     context.Context
 
 	started bool
 	closed  bool
@@ -106,6 +176,12 @@ type Writer struct {
 	werr error // first pipeline error (compression or underlying write)
 
 	statsMu sync.Mutex // serialises merges into params.Stats
+
+	wstatsMu sync.Mutex
+	wstats   WriterStats
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // backoff jitter; seeded from the injector when armed
 
 	// in-flight accounting, exercised by the bounded-memory test.
 	flightMu  sync.Mutex
@@ -126,15 +202,45 @@ func NewWriterOptions(dst io.Writer, p Params, o StreamOptions) *Writer {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Jitter only perturbs sleep durations, never output bytes; seeding
+	// from the injector keeps even the timing reproducible under test.
+	seed := int64(1)
+	if s := p.Injector.Seed(); s != 0 {
+		seed = s
+	}
 	w := &Writer{
 		dst:     dst,
 		params:  p,
 		opts:    o,
 		segSize: o.segmentSize(),
 		workers: workers,
+		ctx:     ctx,
+		rng:     rand.New(rand.NewSource(seed)),
 	}
 	w.bufPool.New = func() any { return make([]byte, 0, w.segSize) }
 	return w
+}
+
+// Stats returns a snapshot of the Writer's retry/degrade counters. It is
+// safe to call concurrently with Write and after Close.
+func (w *Writer) Stats() WriterStats {
+	w.wstatsMu.Lock()
+	defer w.wstatsMu.Unlock()
+	return w.wstats
+}
+
+// ctxErr reports the Writer context's error, if it is done.
+func (w *Writer) ctxErr() error {
+	select {
+	case <-w.ctx.Done():
+		return w.ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // start lazily writes the stream header and spins up the pipeline.
@@ -165,8 +271,7 @@ func (w *Writer) start() {
 func (w *Writer) worker() {
 	defer w.workerWG.Done()
 	for job := range w.jobs {
-		container, err := w.compressSegment(job.data)
-		job.result <- segResult{container: container, err: err}
+		job.result <- w.compressSegment(job.data)
 	}
 }
 
@@ -177,6 +282,13 @@ func (w *Writer) emitter() {
 	defer close(w.emitted)
 	for job := range w.pending {
 		res := <-job.result
+		w.wstatsMu.Lock()
+		w.wstats.Segments++
+		w.wstats.Retries += res.retries
+		if res.degraded {
+			w.wstats.Degraded++
+		}
+		w.wstatsMu.Unlock()
 		if res.err != nil {
 			w.setErr(fmt.Errorf("core: segment %d: %w", job.index, res.err))
 		} else if w.err() == nil {
@@ -200,7 +312,13 @@ func (w *Writer) release(job *segJob) {
 
 // compressSegment compresses one segment with the Writer's parameters,
 // optionally routing V1 through the pipelined CUDA-stream scheduler.
-func (w *Writer) compressSegment(data []byte) ([]byte, error) {
+//
+// GPU-resolved versions run under the retry policy: a failed attempt is
+// retried after a jittered exponential backoff, and a segment that still
+// fails after MaxAttempts degrades to the host-only gpu.CompressV1CPU
+// encoder (for Version1, a bit-identical container) unless the policy
+// forbids it. CPU versions fail fast — their errors are deterministic.
+func (w *Writer) compressSegment(data []byte) segResult {
 	p := w.params
 	// Workers run concurrently; a shared SearchStats would race. Collect
 	// locally and merge under the stats mutex.
@@ -214,31 +332,125 @@ func (w *Writer) compressSegment(data []byte) ([]byte, error) {
 		v = SelectVersion(data)
 		p.Version = v
 	}
-	var out []byte
-	var err error
-	if v == Version1 && w.opts.GPUStreams > 1 {
-		cfg, cfgErr := p.gpuConfig(Version1)
-		if cfgErr != nil {
-			return nil, cfgErr
+
+	attempt := func() ([]byte, error) {
+		if local != nil {
+			*local = lzss.SearchStats{} // drop stats from a failed attempt
 		}
-		out, _, err = gpu.CompressV1Streamed(data, gpu.Options{
-			Device:          p.Device,
-			ChunkSize:       p.ChunkSize,
-			ThreadsPerBlock: p.ThreadsPerBlock,
-			Config:          cfg,
-			HostWorkers:     1, // the segment pipeline is the host parallelism
-			Stats:           local,
-		}, w.opts.GPUStreams)
-	} else {
-		p.HostWorkers = 1 // ditto
-		out, err = Compress(data, p)
+		if v == Version1 && w.opts.GPUStreams > 1 {
+			cfg, cfgErr := p.gpuConfig(Version1)
+			if cfgErr != nil {
+				return nil, cfgErr
+			}
+			out, _, err := gpu.CompressV1Streamed(data, gpu.Options{
+				Device:          p.Device,
+				ChunkSize:       p.ChunkSize,
+				ThreadsPerBlock: p.ThreadsPerBlock,
+				Config:          cfg,
+				HostWorkers:     1, // the segment pipeline is the host parallelism
+				Stats:           local,
+				Injector:        p.Injector,
+				Context:         w.ctx,
+			}, w.opts.GPUStreams)
+			return out, err
+		}
+		pp := p
+		pp.HostWorkers = 1 // ditto
+		return Compress(data, pp)
 	}
-	if err == nil && local != nil {
-		w.statsMu.Lock()
-		w.params.Stats.Add(*local)
-		w.statsMu.Unlock()
+
+	merge := func() {
+		if local != nil {
+			w.statsMu.Lock()
+			w.params.Stats.Add(*local)
+			w.statsMu.Unlock()
+		}
 	}
-	return out, err
+
+	if v != Version1 && v != Version2 {
+		out, err := attempt()
+		if err == nil {
+			merge()
+		}
+		return segResult{container: out, err: err}
+	}
+
+	pol := w.opts.Retry
+	maxAttempts := pol.maxAttempts()
+	var lastErr error
+	retries := 0
+	for a := 1; ; a++ {
+		if err := w.ctxErr(); err != nil {
+			return segResult{retries: retries, err: err}
+		}
+		out, err := attempt()
+		if err == nil {
+			merge()
+			return segResult{container: out, retries: retries}
+		}
+		lastErr = err
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return segResult{retries: retries, err: err}
+		}
+		if a >= maxAttempts {
+			break
+		}
+		retries++
+		if err := w.sleepBackoff(a); err != nil {
+			return segResult{retries: retries, err: err}
+		}
+	}
+
+	if pol.DisableFallback {
+		return segResult{retries: retries,
+			err: fmt.Errorf("core: gpu path failed after %d attempts: %w", maxAttempts, lastErr)}
+	}
+	// Degrade: host-only encoder, zero device fault sites. The container
+	// uses the same chunking and config, so it decodes through the
+	// ordinary chunk-parallel path.
+	cfg, cfgErr := p.gpuConfig(v)
+	if cfgErr != nil {
+		return segResult{retries: retries, err: lastErr}
+	}
+	if local != nil {
+		*local = lzss.SearchStats{}
+	}
+	out, err := gpu.CompressV1CPU(data, gpu.Options{
+		ChunkSize:       p.ChunkSize,
+		ThreadsPerBlock: p.ThreadsPerBlock,
+		Config:          cfg,
+		HostWorkers:     1,
+		Stats:           local,
+		Context:         w.ctx,
+	})
+	if err != nil {
+		return segResult{retries: retries,
+			err: fmt.Errorf("core: cpu fallback after gpu failure (%v): %w", lastErr, err)}
+	}
+	merge()
+	return segResult{container: out, retries: retries, degraded: true}
+}
+
+// sleepBackoff sleeps the jittered exponential delay before retry number
+// attempt, returning early with the context's error if it fires first.
+func (w *Writer) sleepBackoff(attempt int) error {
+	pol := w.opts.Retry
+	d := pol.baseBackoff() << uint(attempt-1)
+	if limit := pol.maxBackoff(); d > limit || d <= 0 {
+		d = limit
+	}
+	// Full jitter over [d/2, d] decorrelates retry storms.
+	w.rngMu.Lock()
+	j := d/2 + time.Duration(w.rng.Int63n(int64(d/2)+1))
+	w.rngMu.Unlock()
+	t := time.NewTimer(j)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-w.ctx.Done():
+		return w.ctx.Err()
+	}
 }
 
 func (w *Writer) setErr(err error) {
@@ -260,6 +472,9 @@ func (w *Writer) err() error {
 func (w *Writer) Write(data []byte) (int, error) {
 	if w.closed {
 		return 0, ErrClosed
+	}
+	if err := w.ctxErr(); err != nil {
+		return 0, err
 	}
 	if err := w.err(); err != nil {
 		return 0, err
@@ -304,7 +519,14 @@ func (w *Writer) flushSegment() error {
 		w.maxFlight = w.inFlight
 	}
 	w.flightMu.Unlock()
-	w.pending <- job
+	select {
+	case w.pending <- job:
+	case <-w.ctx.Done():
+		// The job never entered the pipeline; retire it here.
+		w.release(job)
+		w.setErr(w.ctx.Err())
+		return w.err()
+	}
 	w.jobs <- job
 	return w.err()
 }
@@ -352,31 +574,70 @@ func (w *Writer) maxInFlight() int {
 // memory) or a bare container (decompressed whole).
 type Reader struct {
 	params Params
+	opts   ReaderOptions
+	ctx    context.Context
 
 	// Legacy single-container mode.
 	legacy *bytes.Reader
 
 	// Framed mode.
-	fr     *format.FrameReader
-	cur    []byte // decoded bytes of the current segment not yet consumed
-	crc    uint32 // running CRC-32 of the plaintext served so far
-	served int
-	done   bool
-	err    error
+	fr      *format.FrameReader
+	cur     []byte // decoded bytes of the current segment not yet consumed
+	crc     uint32 // running CRC-32 of the plaintext served so far
+	served  int
+	done    bool
+	err     error
+	corrupt []*format.CorruptSegmentError
+}
+
+// ReaderOptions tune the Reader's decode behaviour.
+type ReaderOptions struct {
+	// Salvage opts into best-effort decode of damaged framed streams:
+	// instead of stopping at the first bad record, the Reader skips
+	// damaged regions (resynchronising at the next frame that parses and
+	// checksums cleanly), keeps serving every intact segment, and records
+	// one *format.CorruptSegmentError per damaged region, retrievable via
+	// CorruptSegments. Salvaged segments still pass the per-frame CRC and
+	// the per-container chunk checksums; only the end-to-end trailer
+	// checks are waived (they cannot hold once bytes are missing).
+	Salvage bool
+	// Context, when non-nil, cancels the decode: Read fails with the
+	// context's error at the next segment boundary. nil means
+	// context.Background().
+	Context context.Context
+	// OnCorrupt, when non-nil, is called once per damaged region as it is
+	// discovered (salvage mode only), before the following intact segment
+	// is served.
+	OnCorrupt func(*format.CorruptSegmentError)
 }
 
 // NewReader sniffs src and returns a Reader over the plaintext. Framed
 // streams decode lazily: NewReader itself reads only the stream header, so
 // a pipe that has produced only its first frames is readable immediately.
 func NewReader(src io.Reader, p Params) (*Reader, error) {
+	return NewReaderOptions(src, p, ReaderOptions{})
+}
+
+// NewReaderOptions is NewReader with explicit decode options.
+func NewReaderOptions(src io.Reader, p Params, o ReaderOptions) (*Reader, error) {
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	br := bufio.NewReader(src)
 	magic, err := br.Peek(len(format.StreamMagic))
 	if err == nil && string(magic) == format.StreamMagic {
-		fr, err := format.NewFrameReader(br)
-		if err != nil {
-			return nil, err
+		var fr *format.FrameReader
+		var ferr error
+		if o.Salvage {
+			fr, ferr = format.NewFrameReaderSalvage(br)
+		} else {
+			fr, ferr = format.NewFrameReader(br)
 		}
-		return &Reader{params: p, fr: fr}, nil
+		if ferr != nil {
+			return nil, ferr
+		}
+		return &Reader{params: p, opts: o, ctx: ctx, fr: fr}, nil
 	}
 	// Bare container (or too short / not ours — let Decompress produce
 	// the diagnostic).
@@ -388,11 +649,32 @@ func NewReader(src io.Reader, p Params) (*Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Reader{params: p, legacy: bytes.NewReader(out)}, nil
+	return &Reader{params: p, opts: o, ctx: ctx, legacy: bytes.NewReader(out)}, nil
+}
+
+// CorruptSegments returns the damaged regions recorded so far (salvage
+// mode). A synthetic entry with Index == -1 marks a stream that ended
+// without its trailer (truncated tail). The slice grows as Read
+// progresses; it is complete once Read has returned io.EOF.
+func (r *Reader) CorruptSegments() []*format.CorruptSegmentError {
+	return r.corrupt
+}
+
+// ctxErr reports the Reader context's error, if it is done.
+func (r *Reader) ctxErr() error {
+	select {
+	case <-r.ctx.Done():
+		return r.ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // Read implements io.Reader.
 func (r *Reader) Read(p []byte) (int, error) {
+	if err := r.ctxErr(); err != nil {
+		return 0, err
+	}
 	if r.legacy != nil {
 		return r.legacy.Read(p)
 	}
@@ -413,36 +695,83 @@ func (r *Reader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-// nextSegment decodes the next frame into r.cur, or validates the trailer
-// and marks the stream done.
-func (r *Reader) nextSegment() error {
-	frame, trailer, err := r.fr.Next()
-	if err != nil {
-		return err
+// recordCorrupt appends one damaged region and fires the callback.
+func (r *Reader) recordCorrupt(cse *format.CorruptSegmentError) {
+	r.corrupt = append(r.corrupt, cse)
+	if r.opts.OnCorrupt != nil {
+		r.opts.OnCorrupt(cse)
 	}
-	if trailer != nil {
-		if trailer.TotalLen != r.served {
-			return fmt.Errorf("%w: trailer says %d plaintext bytes, decoded %d",
-				format.ErrCorrupt, trailer.TotalLen, r.served)
+}
+
+// nextSegment decodes the next frame into r.cur, or validates the trailer
+// and marks the stream done. In salvage mode damaged regions are recorded
+// and skipped instead of failing the stream.
+func (r *Reader) nextSegment() error {
+	for {
+		if err := r.ctxErr(); err != nil {
+			return err
 		}
-		if trailer.Checksum != r.crc {
-			return fmt.Errorf("%w: stream trailer", format.ErrChecksum)
+		frame, trailer, err := r.fr.Next()
+		if err != nil {
+			if r.opts.Salvage {
+				var cse *format.CorruptSegmentError
+				if errors.As(err, &cse) {
+					r.recordCorrupt(cse)
+					continue // non-sticky: the next record was already found
+				}
+				if errors.Is(err, format.ErrTruncated) {
+					// The stream ended without its trailer. Deliver what
+					// we have; the truncation is recorded for the caller.
+					r.recordCorrupt(&format.CorruptSegmentError{Index: -1, Err: format.ErrTruncated})
+					r.done = true
+					return nil
+				}
+			}
+			return err
 		}
-		r.done = true
+		if trailer != nil {
+			if len(r.corrupt) == 0 {
+				if trailer.TotalLen != r.served {
+					return fmt.Errorf("%w: trailer says %d plaintext bytes, decoded %d",
+						format.ErrCorrupt, trailer.TotalLen, r.served)
+				}
+				if trailer.Checksum != r.crc {
+					return fmt.Errorf("%w: stream trailer", format.ErrChecksum)
+				}
+			}
+			// With recorded corruption the end-to-end totals cannot match;
+			// the delivered segments were each CRC-verified individually.
+			r.done = true
+			return nil
+		}
+		plain, err := Decompress(frame.Container, r.params)
+		if err != nil {
+			if r.opts.Salvage {
+				// The frame CRC held but the container inside is broken
+				// (for example a frame-header bit-flip mislabelled an
+				// intact container). Skip just this segment.
+				r.recordCorrupt(&format.CorruptSegmentError{Index: frame.Index, Err: err})
+				continue
+			}
+			return fmt.Errorf("core: segment %d: %w", frame.Index, err)
+		}
+		if len(plain) != frame.RawLen {
+			if r.opts.Salvage {
+				r.recordCorrupt(&format.CorruptSegmentError{
+					Index: frame.Index,
+					Err: fmt.Errorf("%w: segment %d decoded to %d bytes, frame says %d",
+						format.ErrCorrupt, frame.Index, len(plain), frame.RawLen),
+				})
+				continue
+			}
+			return fmt.Errorf("%w: segment %d decoded to %d bytes, frame says %d",
+				format.ErrCorrupt, frame.Index, len(plain), frame.RawLen)
+		}
+		r.crc = format.Checksum32Update(r.crc, plain)
+		r.served += len(plain)
+		r.cur = plain
 		return nil
 	}
-	plain, err := Decompress(frame.Container, r.params)
-	if err != nil {
-		return fmt.Errorf("core: segment %d: %w", frame.Index, err)
-	}
-	if len(plain) != frame.RawLen {
-		return fmt.Errorf("%w: segment %d decoded to %d bytes, frame says %d",
-			format.ErrCorrupt, frame.Index, len(plain), frame.RawLen)
-	}
-	r.crc = format.Checksum32Update(r.crc, plain)
-	r.served += len(plain)
-	r.cur = plain
-	return nil
 }
 
 // Len reports the plaintext bytes currently buffered and undelivered. For

@@ -106,6 +106,13 @@ type Device struct {
 	// serialise. The paper's four-character thread stagger (§III.B.2)
 	// exists for exactly this rule; the bank-skew ablation uses it.
 	LegacyBankSemantics bool
+
+	// LaunchHook, when non-nil, runs before every kernel launch (both
+	// engines); a non-nil error aborts the launch without executing any
+	// block, modeling a driver or device launch failure. The fault
+	// injection suite (internal/faults) plugs in here; production
+	// devices leave it nil.
+	LaunchHook func(kernel string) error
 }
 
 // FermiGTX480 models the paper's testbed GPU: a GeForce GTX 480

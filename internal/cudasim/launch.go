@@ -112,6 +112,11 @@ func (d *Device) Launch(blocks, threadsPerBlock, sharedWords int, hostWorkers in
 	if sharedWords*4 > d.MaxSharedPerBlock {
 		return fmt.Errorf("cudasim: shared %d words exceeds per-block budget", sharedWords)
 	}
+	if d.LaunchHook != nil {
+		if err := d.LaunchHook("goroutine-kernel"); err != nil {
+			return fmt.Errorf("cudasim: launch failed: %w", err)
+		}
+	}
 	if hostWorkers <= 0 {
 		hostWorkers = runtime.GOMAXPROCS(0)
 	}

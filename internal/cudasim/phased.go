@@ -311,6 +311,11 @@ func (d *Device) LaunchPhased(cfg LaunchConfig, kernel func(b *BlockCtx)) (*Laun
 	if err := cfg.validate(d); err != nil {
 		return nil, err
 	}
+	if d.LaunchHook != nil {
+		if err := d.LaunchHook(cfg.Kernel); err != nil {
+			return nil, fmt.Errorf("cudasim: launch failed: %w", err)
+		}
+	}
 	workers := cfg.HostWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -1,0 +1,289 @@
+// Package faults is the deterministic, seeded fault-injection subsystem
+// the robustness suite plugs into the simulated device and the streaming
+// pipeline. It models the failure classes a production CULZSS deployment
+// sees — transient kernel-launch failures, per-chunk decode faults,
+// stalled/failed PCIe transfers, and bit-flips on framed streams crossing
+// a network — so the retry, degrade-to-CPU, and salvage paths can be
+// exercised end to end without real hardware faults.
+//
+// # Seed contract
+//
+// An Injector is fully determined by its seed and the order of probe
+// calls: the nth probe of a site always makes the same decision for the
+// same seed and rule set. Concurrent probes of one site serialise under
+// the injector's mutex, so the *set* of injected faults is deterministic,
+// while *which* goroutine observes a given fault depends on scheduling;
+// tests that need a specific chunk to fault pin HostWorkers to 1 (serial
+// attempt order) or use rules that fault every attempt. The CI fault
+// matrix pins the seed through CULZSS_FAULT_SEED so recovery regressions
+// reproduce exactly.
+//
+// # Wiring
+//
+// gpu.Options.Injector and core.Params.Injector carry an *Injector down
+// the stack; a nil injector is inert (every method on a nil *Injector is
+// a no-op), so production paths pay a single pointer test. The
+// cudasim.Device side is a plain function hook (Device.LaunchHook), kept
+// free of any dependency on this package; Injector.LaunchHook adapts.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+)
+
+// Site identifies a fault-injection point in the pipeline.
+type Site string
+
+// The injection sites the stack consults.
+const (
+	// SiteLaunch fires on kernel launches (simulated driver/device
+	// launch failure). Consulted by cudasim.Device.LaunchHook.
+	SiteLaunch Site = "launch"
+	// SiteChunk fires per decoded chunk inside gpu.Decompress (a
+	// device-side decode fault confined to one chunk).
+	SiteChunk Site = "chunk"
+	// SiteTransfer fires on modeled host<->device transfers (a stalled
+	// or failed PCIe copy, surfaced as an error after the deadline).
+	SiteTransfer Site = "transfer"
+	// SiteFrame fires per byte inside CorruptWriter (a bit-flip on the
+	// framed stream crossing the wire).
+	SiteFrame Site = "frame"
+)
+
+// Fault is the structured error an Injector returns when a probe faults.
+type Fault struct {
+	// Site is the injection point that fired.
+	Site Site
+	// Attempt is the 1-based probe count at the site when the fault fired.
+	Attempt int
+	// Transient reports whether the fault models a condition a retry can
+	// outlast (FailFirst/FailEvery/FailProb) rather than a persistent one
+	// (Always).
+	Transient bool
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	kind := "persistent"
+	if f.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("faults: injected %s fault at %s (attempt %d)", kind, f.Site, f.Attempt)
+}
+
+// IsInjected reports whether err is (or wraps) an injected fault.
+func IsInjected(err error) bool {
+	var f *Fault
+	return errors.As(err, &f)
+}
+
+// IsTransient reports whether err is (or wraps) an injected fault marked
+// transient.
+func IsTransient(err error) bool {
+	var f *Fault
+	return errors.As(err, &f) && f.Transient
+}
+
+// rule decides whether one probe of a site faults.
+type rule struct {
+	failFirst int     // attempts 1..failFirst fault (transient)
+	every     int     // every nth attempt faults (transient)
+	prob      float64 // per-attempt fault probability (transient)
+	always    bool    // every attempt faults (persistent)
+}
+
+// Counts summarises a site's probe history.
+type Counts struct {
+	// Attempts is how many times the site was probed.
+	Attempts int
+	// Injected is how many probes faulted.
+	Injected int
+}
+
+// Injector makes seeded fault decisions. The zero value and the nil
+// pointer are both inert; construct faulting injectors with New plus the
+// rule methods. All methods are safe for concurrent use.
+type Injector struct {
+	mu       sync.Mutex
+	seed     int64
+	rng      *rand.Rand
+	rules    map[Site]rule
+	attempts map[Site]int
+	injected map[Site]int
+}
+
+// New returns an injector with no rules (it injects nothing until a rule
+// method arms a site). The seed fixes every probabilistic decision.
+func New(seed int64) *Injector {
+	return &Injector{
+		seed:     seed,
+		rng:      rand.New(rand.NewSource(seed)),
+		rules:    make(map[Site]rule),
+		attempts: make(map[Site]int),
+		injected: make(map[Site]int),
+	}
+}
+
+// Seed returns the seed the injector was built with (0 for nil).
+func (in *Injector) Seed() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+func (in *Injector) setRule(site Site, r rule) *Injector {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	in.rules[site] = r
+	in.mu.Unlock()
+	return in
+}
+
+// FailFirst arms site to fault on its first n probes (transient: retries
+// past attempt n succeed).
+func (in *Injector) FailFirst(site Site, n int) *Injector {
+	return in.setRule(site, rule{failFirst: n})
+}
+
+// FailEvery arms site to fault on every nth probe (transient).
+func (in *Injector) FailEvery(site Site, n int) *Injector {
+	return in.setRule(site, rule{every: n})
+}
+
+// FailProb arms site to fault each probe independently with probability p,
+// drawn from the seeded generator (transient).
+func (in *Injector) FailProb(site Site, p float64) *Injector {
+	return in.setRule(site, rule{prob: p})
+}
+
+// Always arms site to fault on every probe (persistent: no retry can
+// succeed, only a degrade path survives it).
+func (in *Injector) Always(site Site) *Injector {
+	return in.setRule(site, rule{always: true})
+}
+
+// Fault probes site once and returns the injected *Fault, or nil when the
+// probe passes (or the injector is nil / the site unarmed).
+func (in *Injector) Fault(site Site) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.attempts[site]++
+	attempt := in.attempts[site]
+	r, ok := in.rules[site]
+	if !ok {
+		return nil
+	}
+	var fire, transient bool
+	switch {
+	case r.always:
+		fire, transient = true, false
+	case r.failFirst > 0:
+		fire, transient = attempt <= r.failFirst, true
+	case r.every > 0:
+		fire, transient = attempt%r.every == 0, true
+	case r.prob > 0:
+		fire, transient = in.rng.Float64() < r.prob, true
+	}
+	if !fire {
+		return nil
+	}
+	in.injected[site]++
+	return &Fault{Site: site, Attempt: attempt, Transient: transient}
+}
+
+// Counts reports site's probe history so far.
+func (in *Injector) Counts(site Site) Counts {
+	if in == nil {
+		return Counts{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return Counts{Attempts: in.attempts[site], Injected: in.injected[site]}
+}
+
+// LaunchHook adapts the injector's SiteLaunch rule to the plain function
+// hook cudasim.Device carries (the device stays free of this package).
+// A nil injector returns a nil hook.
+func (in *Injector) LaunchHook() func(kernel string) error {
+	if in == nil {
+		return nil
+	}
+	return func(kernel string) error {
+		if err := in.Fault(SiteLaunch); err != nil {
+			return fmt.Errorf("kernel %q: %w", kernel, err)
+		}
+		return nil
+	}
+}
+
+// CorruptWriter wraps w so that roughly one bit per rate bytes is flipped
+// on the way through, positions drawn deterministically from the
+// injector's seed — the wire-corruption model salvage decoding is tested
+// against. A nil injector (or rate <= 0) returns w unchanged. The wrapper
+// probes SiteFrame once per flipped bit, so Counts(SiteFrame) reports the
+// corruption volume.
+func (in *Injector) CorruptWriter(w io.Writer, rate int) io.Writer {
+	if in == nil || rate <= 0 {
+		return w
+	}
+	in.mu.Lock()
+	// A corrupting writer gets its own deterministic stream derived from
+	// the injector seed, so interleaved Fault probes do not perturb the
+	// flip positions.
+	cw := &corruptWriter{w: w, in: in, rng: rand.New(rand.NewSource(in.seed ^ 0x5bd1e995)), rate: rate}
+	in.mu.Unlock()
+	cw.next = cw.gap()
+	return cw
+}
+
+type corruptWriter struct {
+	w    io.Writer
+	in   *Injector
+	rng  *rand.Rand
+	rate int
+	next int64 // bytes until the next flip
+	off  int64
+}
+
+// gap draws the distance to the next flipped byte: uniform in [1, 2*rate],
+// mean rate, strictly positive so consecutive flips never collide.
+func (c *corruptWriter) gap() int64 {
+	return 1 + int64(c.rng.Intn(2*c.rate))
+}
+
+// Write flips the scheduled bits inside p (copying first: callers own
+// their buffers) and forwards to the underlying writer.
+func (c *corruptWriter) Write(p []byte) (int, error) {
+	copied := false
+	for i := range p {
+		c.next--
+		if c.next > 0 {
+			continue
+		}
+		if !copied {
+			q := make([]byte, len(p))
+			copy(q, p)
+			p = q
+			copied = true
+		}
+		p[i] ^= byte(1) << uint(c.rng.Intn(8))
+		c.in.mu.Lock()
+		c.in.attempts[SiteFrame]++
+		c.in.injected[SiteFrame]++
+		c.in.mu.Unlock()
+		c.next = c.gap()
+	}
+	n, err := c.w.Write(p)
+	c.off += int64(n)
+	return n, err
+}

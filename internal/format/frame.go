@@ -151,6 +151,19 @@ type FrameReader struct {
 	rawTotal  int
 	trailer   *StreamTrailer
 	err       error
+
+	// Salvage mode (see salvage.go): reads go through a sliding window so
+	// the decoder can back up and rescan after a damaged record.
+	salvage     bool
+	src         io.Reader
+	buf         []byte // unconsumed window
+	off         int64  // absolute stream offset of buf[0]
+	scratch     []byte // fill() read buffer
+	eof         bool
+	readErr     error
+	corrupted   bool
+	pendFrame   *SegmentFrame
+	pendTrailer *StreamTrailer
 }
 
 // NewFrameReader parses the stream header from r and returns a reader for
@@ -196,6 +209,9 @@ func NewFrameReader(r io.Reader) (*FrameReader, error) {
 // frame, (nil, trailer, nil) at the end-of-stream trailer, and a non-nil
 // error for truncated or corrupt input. After the trailer (or an error),
 // further calls return io.EOF (or the sticky error).
+// In salvage mode (NewFrameReaderSalvage) a returned *CorruptSegmentError
+// is NOT sticky: it reports one damaged region, and the next call resumes
+// with the first record that parsed cleanly after it.
 func (fr *FrameReader) Next() (*SegmentFrame, *StreamTrailer, error) {
 	if fr.err != nil {
 		return nil, nil, fr.err
@@ -203,8 +219,16 @@ func (fr *FrameReader) Next() (*SegmentFrame, *StreamTrailer, error) {
 	if fr.trailer != nil {
 		return nil, nil, io.EOF
 	}
-	frame, trailer, err := fr.next()
+	next := fr.next
+	if fr.salvage {
+		next = fr.nextSalvage
+	}
+	frame, trailer, err := next()
 	if err != nil {
+		var cse *CorruptSegmentError
+		if errors.As(err, &cse) {
+			return nil, nil, err // salvage: recoverable, not sticky
+		}
 		fr.err = err
 		return nil, nil, err
 	}

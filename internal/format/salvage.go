@@ -1,0 +1,375 @@
+// Salvage-mode frame decoding: recover every intact segment of a damaged
+// framed stream instead of dying at the first bad byte.
+//
+// Normal-mode FrameReader semantics are fail-fast: any CRC mismatch,
+// out-of-order index, or mid-record truncation is sticky and the rest of
+// the stream — often 99% intact — is lost. Salvage mode turns each
+// damaged region into a structured *CorruptSegmentError and then
+// *resynchronizes*: it scans forward for the next plausible frame marker,
+// re-parses the candidate record, and only accepts it when the record is
+// fully self-consistent — for segment frames that includes the per-frame
+// CRC-32 over the container bytes, so a false resynchronization point is
+// vanishingly unlikely; for the (unchecksummed) trailer a resync
+// candidate is only accepted when it ends the stream exactly, which is
+// the position a legal trailer must occupy.
+//
+// The scan holds at most one candidate record in memory (O(segment)
+// bytes, the same bound as normal incremental decoding). Determinism:
+// salvage is a pure function of the input bytes — no randomness, no
+// scheduling dependence — so a given damaged stream always yields the
+// same recovered segments and the same error reports.
+package format
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// maxIndexGap bounds how far ahead a recovered segment index may jump
+// past the expected one before the record is considered garbage (a
+// resynchronization guard; 2^20 lost segments in one region is beyond
+// plausible damage).
+const maxIndexGap = 1 << 20
+
+// errNeedMore is the internal signal that a record parse ran out of
+// buffered bytes before the record was complete.
+var errNeedMore = errors.New("format: record extends past available data")
+
+// CorruptSegmentError reports one damaged region of a framed stream
+// encountered in salvage mode. It is returned by FrameReader.Next (and
+// surfaced by core.Reader) *between* intact segments: the error is not
+// sticky, and the next call resumes with the first record that parsed
+// cleanly after the damage.
+type CorruptSegmentError struct {
+	// Index is the expected index of the first segment lost or damaged in
+	// this region.
+	Index int
+	// Offset is the absolute byte offset in the framed stream at which
+	// the damaged region begins (0 = first byte of the stream magic).
+	Offset int64
+	// Skipped is how many bytes were discarded to resynchronize. 0 means
+	// no bytes were damaged but one or more whole frames are missing (a
+	// clean index gap).
+	Skipped int64
+	// Err is the parse or checksum failure that triggered salvage.
+	Err error
+}
+
+// Error implements error.
+func (e *CorruptSegmentError) Error() string {
+	if e.Skipped == 0 {
+		return fmt.Sprintf("format: segment %d missing at offset %d: %v", e.Index, e.Offset, e.Err)
+	}
+	return fmt.Sprintf("format: corrupt region at segment %d: skipped %d bytes at offset %d: %v",
+		e.Index, e.Skipped, e.Offset, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is / errors.As.
+func (e *CorruptSegmentError) Unwrap() error { return e.Err }
+
+// NewFrameReaderSalvage parses the stream header from r and returns a
+// FrameReader in salvage mode. The header itself is not salvageable
+// (nothing downstream can be trusted without it), so header errors match
+// NewFrameReader's. After a successful open, Next never returns a sticky
+// error for in-stream damage: it yields *CorruptSegmentError for each
+// damaged region, keeps delivering the intact segments around it, and
+// ends with either the trailer, io.EOF, or ErrTruncated.
+func NewFrameReaderSalvage(r io.Reader) (*FrameReader, error) {
+	fr := &FrameReader{salvage: true, src: r}
+	if !fr.ensure(len(StreamMagic)) {
+		if fr.readErr != nil {
+			return nil, fr.readErr
+		}
+		return nil, ErrTruncated
+	}
+	if string(fr.buf[:len(StreamMagic)]) != StreamMagic {
+		return nil, ErrBadStreamMagic
+	}
+	if !fr.ensure(len(StreamMagic) + 2) {
+		return nil, ErrTruncated
+	}
+	if v := fr.buf[len(StreamMagic)]; v != StreamVersion {
+		return nil, fmt.Errorf("%w: stream version %d", ErrBadVersion, v)
+	}
+	if f := fr.buf[len(StreamMagic)+1]; f != 0 {
+		return nil, fmt.Errorf("%w: nonzero stream flags %#x", ErrCorrupt, f)
+	}
+	segSize, n, err := fr.varintAt(len(StreamMagic) + 2)
+	if err != nil {
+		if errors.Is(err, errNeedMore) {
+			return nil, ErrTruncated
+		}
+		return nil, err
+	}
+	fr.SegmentSize = segSize
+	fr.consume(len(StreamMagic) + 2 + n)
+	return fr, nil
+}
+
+// Corrupted reports whether salvage has recovered past at least one
+// damaged region so far.
+func (fr *FrameReader) Corrupted() bool { return fr.corrupted }
+
+// fill reads another chunk from the underlying reader into the salvage
+// window. It reports whether any bytes were added.
+func (fr *FrameReader) fill() bool {
+	if fr.eof {
+		return false
+	}
+	if fr.scratch == nil {
+		fr.scratch = make([]byte, 64<<10)
+	}
+	n, err := fr.src.Read(fr.scratch)
+	if n > 0 {
+		fr.buf = append(fr.buf, fr.scratch[:n]...)
+	}
+	if err != nil {
+		fr.eof = true
+		if err != io.EOF {
+			fr.readErr = err
+		}
+	}
+	return n > 0
+}
+
+// ensure grows the window to at least n bytes, reporting success.
+func (fr *FrameReader) ensure(n int) bool {
+	for len(fr.buf) < n {
+		if !fr.fill() {
+			return false
+		}
+	}
+	return true
+}
+
+// consume discards the first n window bytes and advances the absolute
+// stream offset.
+func (fr *FrameReader) consume(n int) {
+	fr.buf = fr.buf[n:]
+	fr.off += int64(n)
+}
+
+// varintAt decodes a bounded uvarint at window position p, pulling more
+// input when the encoding crosses the buffered edge. It returns the
+// value, its encoded length, and errNeedMore / a corruption error.
+func (fr *FrameReader) varintAt(p int) (int, int, error) {
+	for {
+		if p < len(fr.buf) {
+			v, n := binary.Uvarint(fr.buf[p:])
+			if n > 0 {
+				if v > 1<<40 {
+					return 0, 0, fmt.Errorf("%w: implausible varint %d", ErrCorrupt, v)
+				}
+				return int(v), n, nil
+			}
+			if n < 0 {
+				return 0, 0, fmt.Errorf("%w: varint overflow", ErrCorrupt)
+			}
+		}
+		if !fr.ensure(len(fr.buf) + 1) {
+			return 0, 0, errNeedMore
+		}
+	}
+}
+
+// tryRecord attempts to parse one complete record at window position pos.
+// On success it returns the record and its total encoded length (the
+// window is NOT consumed). Failure is either errNeedMore (the stream
+// ended before the record was complete) or a corruption error.
+func (fr *FrameReader) tryRecord(pos int) (*SegmentFrame, *StreamTrailer, int, error) {
+	if !fr.ensure(pos + 1) {
+		return nil, nil, 0, errNeedMore
+	}
+	p := pos + 1
+	switch marker := fr.buf[pos]; marker {
+	case frameMarkerSegment:
+		index, n, err := fr.varintAt(p)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		p += n
+		rawLen, n, err := fr.varintAt(p)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		p += n
+		compLen, n, err := fr.varintAt(p)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		p += n
+		if rawLen > MaxSegmentLen || compLen > MaxSegmentLen {
+			return nil, nil, 0, fmt.Errorf("%w: implausible segment lengths raw=%d comp=%d", ErrCorrupt, rawLen, compLen)
+		}
+		if index < fr.nextIndex || index > fr.nextIndex+maxIndexGap {
+			return nil, nil, 0, fmt.Errorf("%w: got segment %d, want >= %d", ErrFrameOrder, index, fr.nextIndex)
+		}
+		if !fr.ensure(p + 4 + compLen) {
+			return nil, nil, 0, errNeedMore
+		}
+		crc := binary.BigEndian.Uint32(fr.buf[p : p+4])
+		p += 4
+		container := fr.buf[p : p+compLen]
+		if Checksum32(container) != crc {
+			return nil, nil, 0, fmt.Errorf("%w: segment %d", ErrFrameChecksum, index)
+		}
+		// Copy out: the window's backing array is reused as it slides.
+		c := make([]byte, compLen)
+		copy(c, container)
+		return &SegmentFrame{Index: index, RawLen: rawLen, Container: c}, nil, p + compLen - pos, nil
+	case frameMarkerTrailer:
+		segments, n, err := fr.varintAt(p)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		p += n
+		totalLen, n, err := fr.varintAt(p)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		p += n
+		if !fr.ensure(p + 4) {
+			return nil, nil, 0, errNeedMore
+		}
+		t := &StreamTrailer{Segments: segments, TotalLen: totalLen, Checksum: binary.BigEndian.Uint32(fr.buf[p : p+4])}
+		p += 4
+		switch {
+		case pos == 0 && !fr.corrupted:
+			// Clean path: enforce the same consistency checks as normal
+			// mode, so salvage and normal decoding agree on pristine
+			// streams.
+			if t.Segments != fr.nextIndex {
+				return nil, nil, 0, fmt.Errorf("%w: trailer counts %d segments, stream carried %d", ErrCorrupt, t.Segments, fr.nextIndex)
+			}
+			if t.TotalLen != fr.rawTotal {
+				return nil, nil, 0, fmt.Errorf("%w: trailer totalLen %d, segment rawLens sum to %d", ErrCorrupt, t.TotalLen, fr.rawTotal)
+			}
+		case pos > 0:
+			// Resynchronization candidate. The trailer record carries no
+			// self-checksum, so a scan can hallucinate one out of payload
+			// bytes; demand the one property a real trailer must have —
+			// it ends the stream exactly.
+			if fr.ensure(p + 1) {
+				return nil, nil, 0, fmt.Errorf("%w: resynchronized trailer not at stream end", ErrCorrupt)
+			}
+		default:
+			// pos == 0 after earlier salvage: the record boundary is
+			// trusted, and the counts legitimately disagree with what we
+			// recovered — deliver the trailer as the stream's own claim.
+		}
+		return nil, t, p - pos, nil
+	default:
+		return nil, nil, 0, fmt.Errorf("%w: unknown frame marker %#x", ErrCorrupt, marker)
+	}
+}
+
+// nextSalvage decodes the next record in salvage mode. Damaged regions
+// come back as *CorruptSegmentError; the following call resumes at the
+// resynchronized record.
+func (fr *FrameReader) nextSalvage() (*SegmentFrame, *StreamTrailer, error) {
+	// Deliver the record stashed behind a just-reported corruption.
+	if fr.pendFrame != nil {
+		f := fr.pendFrame
+		fr.pendFrame = nil
+		return f, nil, nil
+	}
+	if fr.pendTrailer != nil {
+		t := fr.pendTrailer
+		fr.pendTrailer = nil
+		return nil, t, nil
+	}
+
+	startOff := fr.off
+	frame, trailer, n, err := fr.tryRecord(0)
+	if err == nil {
+		fr.consume(n)
+		return fr.acceptSalvage(frame, trailer, startOff)
+	}
+	if errors.Is(err, errNeedMore) && len(fr.buf) == 0 {
+		// Clean record boundary at end of data but no trailer was seen.
+		if fr.readErr != nil {
+			return nil, nil, fr.readErr
+		}
+		return nil, nil, ErrTruncated
+	}
+
+	// Damage at the expected record position: resynchronize.
+	cause := err
+	if errors.Is(cause, errNeedMore) {
+		cause = ErrTruncated
+	}
+	for skip := 1; ; skip++ {
+		if !fr.ensure(skip + 1) {
+			// Scanned to end of data without resynchronizing: the whole
+			// tail is damage.
+			if fr.readErr != nil {
+				return nil, nil, fr.readErr
+			}
+			skipped := int64(len(fr.buf))
+			fr.consume(len(fr.buf))
+			fr.corrupted = true
+			return nil, nil, &CorruptSegmentError{Index: fr.nextIndex, Offset: startOff, Skipped: skipped, Err: cause}
+		}
+		b := fr.buf[skip]
+		if b != frameMarkerSegment && b != frameMarkerTrailer {
+			continue
+		}
+		f2, t2, n2, err2 := fr.tryRecord(skip)
+		if err2 != nil {
+			continue // not a real record; keep scanning
+		}
+		// Resynchronized. Report the damaged region first; stash the
+		// recovered record for the next call.
+		fr.corrupted = true
+		cse := &CorruptSegmentError{Index: fr.nextIndex, Offset: startOff, Skipped: int64(skip), Err: cause}
+		fr.consume(skip + n2)
+		if t2 != nil {
+			fr.pendTrailer = t2
+		} else {
+			fr.nextIndex = f2.Index + 1
+			fr.rawTotal += f2.RawLen
+			fr.pendFrame = f2
+		}
+		return nil, nil, cse
+	}
+}
+
+// acceptSalvage applies index bookkeeping to a record parsed at the
+// expected boundary, turning clean index gaps (whole frames excised
+// without byte damage) into CorruptSegmentError reports too.
+func (fr *FrameReader) acceptSalvage(frame *SegmentFrame, trailer *StreamTrailer, startOff int64) (*SegmentFrame, *StreamTrailer, error) {
+	if trailer != nil {
+		return nil, trailer, nil
+	}
+	if frame.Index != fr.nextIndex {
+		cse := &CorruptSegmentError{
+			Index:  fr.nextIndex,
+			Offset: startOff,
+			Err:    fmt.Errorf("%w: got segment %d, want %d", ErrFrameOrder, frame.Index, fr.nextIndex),
+		}
+		fr.corrupted = true
+		fr.nextIndex = frame.Index + 1
+		fr.rawTotal += frame.RawLen
+		fr.pendFrame = frame
+		return nil, nil, cse
+	}
+	fr.nextIndex++
+	fr.rawTotal += frame.RawLen
+	return frame, nil, nil
+}
+
+// IsSalvageable reports whether err is the kind of in-stream damage
+// salvage mode can recover past (checksum mismatches, corrupt records,
+// ordering violations, truncation) as opposed to I/O failures or API
+// misuse.
+func IsSalvageable(err error) bool {
+	var cse *CorruptSegmentError
+	return errors.As(err, &cse) ||
+		errors.Is(err, ErrCorrupt) ||
+		errors.Is(err, ErrFrameChecksum) ||
+		errors.Is(err, ErrFrameOrder) ||
+		errors.Is(err, ErrChecksum) ||
+		errors.Is(err, ErrTruncated)
+}

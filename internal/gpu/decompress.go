@@ -2,9 +2,9 @@ package gpu
 
 import (
 	"fmt"
-	"sync"
 
 	"culzss/internal/cudasim"
+	"culzss/internal/faults"
 	"culzss/internal/format"
 	"culzss/internal/lzss"
 )
@@ -30,6 +30,9 @@ func Decompress(container []byte, opts Options) ([]byte, *Report, error) {
 		return nil, nil, err
 	}
 	opts.fill(h.Codec)
+	if err := opts.ctxErr(); err != nil {
+		return nil, nil, err
+	}
 	dev := opts.device()
 
 	payload := container[off:]
@@ -41,8 +44,10 @@ func Decompress(container []byte, opts Options) ([]byte, *Report, error) {
 		blocks = 1
 	}
 
-	var faultMu sync.Mutex
-	var faultErr error
+	var rec faultRecorder
+	if err := opts.transferFault("h2d"); err != nil {
+		return nil, nil, err
+	}
 	rep, err := dev.LaunchPhased(cudasim.LaunchConfig{
 		Kernel:          "culzss_decompress",
 		Blocks:          blocks,
@@ -53,18 +58,18 @@ func Decompress(container []byte, opts Options) ([]byte, *Report, error) {
 		base := b.Index * tpb
 		b.Parallel(func(th *cudasim.ThreadCtx) {
 			ci := base + th.Tid
-			if ci >= len(bounds) {
+			if ci >= len(bounds) || rec.tripped() {
+				return // early abort: a recorded fault voids the launch
+			}
+			if ierr := opts.Injector.Fault(faults.SiteChunk); ierr != nil {
+				rec.record(ci, fmt.Errorf("gpu: chunk %d: %w", ci, ierr))
 				return
 			}
 			bd := bounds[ci]
 			dst := out[bd.UncompOff:bd.UncompOff:(bd.UncompOff + bd.UncompLen)]
 			dec, derr := lzss.AppendDecodedByteAligned(dst, payload[bd.CompOff:bd.CompOff+bd.CompLen], bd.UncompLen, cfg)
 			if derr != nil {
-				faultMu.Lock()
-				if faultErr == nil {
-					faultErr = fmt.Errorf("gpu: chunk %d: %w", ci, derr)
-				}
-				faultMu.Unlock()
+				rec.record(ci, fmt.Errorf("gpu: chunk %d: %w", ci, derr))
 				return
 			}
 			copy(out[bd.UncompOff:], dec)
@@ -80,8 +85,11 @@ func Decompress(container []byte, opts Options) ([]byte, *Report, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if faultErr != nil {
-		return nil, nil, faultErr
+	if ferr := rec.error(); ferr != nil {
+		return nil, nil, ferr
+	}
+	if err := opts.transferFault("d2h"); err != nil {
+		return nil, nil, err
 	}
 
 	if format.Checksum32(out) != h.Checksum {

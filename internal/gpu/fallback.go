@@ -1,0 +1,80 @@
+package gpu
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"culzss/internal/format"
+	"culzss/internal/lzss"
+)
+
+// CompressV1CPU is the degrade path behind the streaming Writer's
+// retry/fallback policy: a host-only encoder that produces a container
+// bit-identical to CompressV1's — same chunking, same per-chunk
+// byte-aligned token stream from the same brute-force search, same
+// CodecCULZSSV1 header — without touching the simulated device, so no
+// launch, transfer, or chunk fault site can fire. When the GPU path fails
+// persistently, a segment compressed here still decodes through the
+// ordinary chunk-parallel Decompress and round-trips byte-identically.
+func CompressV1CPU(data []byte, opts Options) ([]byte, error) {
+	opts.fill(format.CodecCULZSSV1)
+	if err := opts.ctxErr(); err != nil {
+		return nil, err
+	}
+	cfg := opts.Config
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Window > 256 || cfg.MaxMatch-cfg.MinMatch > 255 {
+		return nil, fmt.Errorf("gpu: config %+v does not fit the 16-bit token", cfg)
+	}
+
+	chunks := format.SplitChunks(data, opts.ChunkSize)
+	streams := make([][]byte, len(chunks))
+	statsPer := make([]lzss.SearchStats, len(chunks))
+
+	workers := opts.HostWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	var rec faultRecorder
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range next {
+				if rec.tripped() {
+					continue
+				}
+				comp, err := lzss.EncodeByteAligned(chunks[ci], cfg, lzss.SearchBrute, &statsPer[ci])
+				if err != nil {
+					rec.record(ci, fmt.Errorf("gpu: cpu-fallback chunk %d: %w", ci, err))
+					continue
+				}
+				streams[ci] = comp
+			}
+		}()
+	}
+	for ci := range chunks {
+		next <- ci
+	}
+	close(next)
+	wg.Wait()
+	if err := rec.error(); err != nil {
+		return nil, err
+	}
+	if opts.Stats != nil {
+		for i := range statsPer {
+			opts.Stats.Add(statsPer[i])
+		}
+	}
+
+	container, _ := assembleContainer(format.CodecCULZSSV1, cfg, opts.ChunkSize, data, streams)
+	return container, nil
+}

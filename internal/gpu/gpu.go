@@ -39,10 +39,14 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"culzss/internal/cudasim"
+	"culzss/internal/faults"
 	"culzss/internal/format"
 	"culzss/internal/lzss"
 )
@@ -119,13 +123,84 @@ type Options struct {
 	HostWorkers int
 	// Stats, when non-nil, accumulates match-search counters.
 	Stats *lzss.SearchStats
+	// Injector, when non-nil, threads the deterministic fault-injection
+	// subsystem through this run: kernel launches probe faults.SiteLaunch
+	// (via the device's LaunchHook), modeled transfers probe
+	// faults.SiteTransfer, and Decompress probes faults.SiteChunk per
+	// chunk. Production paths leave it nil (zero cost beyond a pointer
+	// test).
+	Injector *faults.Injector
+	// Context, when non-nil, is checked at launch, slice, and shard
+	// boundaries so a stuck or abandoned stream can be cancelled cleanly
+	// (the multi-call entry points CompressV1Streamed / CompressV1MultiGPU
+	// stop between slices; single launches check once up front).
+	Context context.Context
 }
 
 func (o *Options) device() *cudasim.Device {
-	if o.Device == nil {
-		return cudasim.FermiGTX480()
+	d := o.Device
+	if d == nil {
+		d = cudasim.FermiGTX480()
 	}
-	return o.Device
+	if o.Injector != nil {
+		// Arm the launch site on a clone so the caller's device (often a
+		// shared preset) is not mutated. An explicitly installed hook
+		// stays in charge otherwise.
+		d = d.Clone()
+		d.LaunchHook = o.Injector.LaunchHook()
+	}
+	return d
+}
+
+// ctxErr reports the context's cancellation state (nil context = never
+// cancelled).
+func (o *Options) ctxErr() error {
+	if o.Context == nil {
+		return nil
+	}
+	return o.Context.Err()
+}
+
+// transferFault probes the injector's transfer site, naming the copy
+// direction.
+func (o *Options) transferFault(dir string) error {
+	if err := o.Injector.Fault(faults.SiteTransfer); err != nil {
+		return fmt.Errorf("gpu: %s transfer: %w", dir, err)
+	}
+	return nil
+}
+
+// faultRecorder collects chunk-level faults from a concurrent kernel
+// deterministically: the *lowest* faulting chunk index wins regardless of
+// which goroutine reports first, and tripped() lets the remaining threads
+// early-abort once any fault is recorded (their results would be
+// discarded anyway).
+type faultRecorder struct {
+	trip atomic.Bool
+	mu   sync.Mutex
+	idx  int
+	err  error
+}
+
+// record notes a fault at chunk idx, keeping the lowest index seen.
+func (r *faultRecorder) record(idx int, err error) {
+	r.mu.Lock()
+	if r.err == nil || idx < r.idx {
+		r.idx, r.err = idx, err
+	}
+	r.mu.Unlock()
+	r.trip.Store(true)
+}
+
+// tripped reports whether any fault has been recorded (the early-abort
+// check threads poll before doing work).
+func (r *faultRecorder) tripped() bool { return r.trip.Load() }
+
+// error returns the recorded fault for the lowest chunk index, or nil.
+func (r *faultRecorder) error() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
 }
 
 func (o *Options) fill(version format.Codec) {

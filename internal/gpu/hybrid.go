@@ -112,7 +112,7 @@ func CompressV1Hybrid(data []byte, opts Options, cpuFraction float64) ([]byte, *
 		} else {
 			h, off, perr := format.ParseHeader(cont)
 			if perr != nil {
-				gpuErr = perr
+				gpuErr = fmt.Errorf("gpu: hybrid gpu shard: reparsing container: %w", perr)
 			} else {
 				payload := cont[off:]
 				for i, b := range h.ChunkBounds() {

@@ -86,7 +86,7 @@ func CompressV1MultiGPU(data []byte, opts Options, nGPUs int) ([]byte, *MultiGPU
 		}
 		h, off, err := format.ParseHeader(cont)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, fmt.Errorf("gpu: device %d: reparsing shard container: %w", g, err)
 		}
 		payload := cont[off:]
 		for _, b := range h.ChunkBounds() {

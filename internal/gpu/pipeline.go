@@ -50,6 +50,12 @@ func CompressV1Streamed(data []byte, opts Options, streams int) ([]byte, *Report
 	var launch *cudasim.LaunchReport
 
 	for s := 0; s < streams; s++ {
+		// A cancelled context abandons the pipeline between slices — the
+		// cleanest point to stop a stuck stream (§VII's queue would drain
+		// the in-flight slice the same way).
+		if err := opts.ctxErr(); err != nil {
+			return nil, nil, fmt.Errorf("gpu: stream %d: %w", s, err)
+		}
 		lo := s * perStream * chunkSize
 		if lo >= len(data) {
 			break
@@ -67,7 +73,7 @@ func CompressV1Streamed(data []byte, opts Options, streams int) ([]byte, *Report
 		// one final container covers the whole input.
 		h, off, err := format.ParseHeader(cont)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, fmt.Errorf("gpu: stream %d: reparsing slice container: %w", s, err)
 		}
 		payload := cont[off:]
 		for _, b := range h.ChunkBounds() {

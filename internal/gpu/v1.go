@@ -2,7 +2,6 @@ package gpu
 
 import (
 	"fmt"
-	"sync"
 
 	"culzss/internal/cudasim"
 	"culzss/internal/format"
@@ -14,6 +13,9 @@ import (
 // container, the performance report, and an error.
 func CompressV1(data []byte, opts Options) ([]byte, *Report, error) {
 	opts.fill(format.CodecCULZSSV1)
+	if err := opts.ctxErr(); err != nil {
+		return nil, nil, err
+	}
 	dev := opts.device()
 	cfg := opts.Config
 	if err := cfg.Validate(); err != nil {
@@ -47,9 +49,11 @@ func CompressV1(data []byte, opts Options) ([]byte, *Report, error) {
 	bucketCap := lzss.MaxEncodedLenByteAligned(opts.ChunkSize)
 	streams := make([][]byte, nChunks)
 	statsPer := make([]lzss.SearchStats, nChunks)
-	var faultMu sync.Mutex
-	var faultErr error
+	var rec faultRecorder
 
+	if err := opts.transferFault("h2d"); err != nil {
+		return nil, nil, err
+	}
 	rep, err := dev.LaunchPhased(cudasim.LaunchConfig{
 		Kernel:          "culzss_v1",
 		Blocks:          blocks,
@@ -64,26 +68,18 @@ func CompressV1(data []byte, opts Options) ([]byte, *Report, error) {
 		base := b.Index * tpb
 		b.Parallel(func(th *cudasim.ThreadCtx) {
 			ci := base + th.Tid
-			if ci >= nChunks {
-				return
+			if ci >= nChunks || rec.tripped() {
+				return // early abort: a recorded fault voids the launch
 			}
 			chunk := chunks[ci]
 			st := &statsPer[ci]
 			comp, err := lzss.EncodeByteAligned(chunk, cfg, lzss.SearchBrute, st)
 			if err != nil {
-				faultMu.Lock()
-				if faultErr == nil {
-					faultErr = fmt.Errorf("gpu: v1 chunk %d: %w", ci, err)
-				}
-				faultMu.Unlock()
+				rec.record(ci, fmt.Errorf("gpu: v1 chunk %d: %w", ci, err))
 				return
 			}
 			if len(comp) > bucketCap {
-				faultMu.Lock()
-				if faultErr == nil {
-					faultErr = fmt.Errorf("gpu: v1 chunk %d overflows bucket: %d > %d", ci, len(comp), bucketCap)
-				}
-				faultMu.Unlock()
+				rec.record(ci, fmt.Errorf("gpu: v1 chunk %d overflows bucket: %d > %d", ci, len(comp), bucketCap))
 				return
 			}
 			streams[ci] = comp
@@ -118,8 +114,11 @@ func CompressV1(data []byte, opts Options) ([]byte, *Report, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if faultErr != nil {
-		return nil, nil, faultErr
+	if ferr := rec.error(); ferr != nil {
+		return nil, nil, ferr
+	}
+	if err := opts.transferFault("d2h"); err != nil {
+		return nil, nil, err
 	}
 	if opts.Stats != nil {
 		for i := range statsPer {

@@ -27,6 +27,15 @@
 //	culzss -window 64 -tpb 128 -verify data.bin
 //	tar c dir | culzss -stream -segment 262144 - - | ssh host culzss -d - -
 //	culzss -d -salvage damaged.clzs recovered.dat   # skip damaged segments
+//	culzss -degrade -gpu-timeout 5s -stats big.dat  # supervised GPU dispatch
+//
+// -degrade arms the device-health supervisor on the GPU versions: launch
+// failures trip a per-device circuit breaker, the device is quarantined
+// and re-probed, and when no healthy device remains the work degrades to
+// the byte-identical CPU encoder instead of failing. -gpu-timeout adds a
+// watchdog that cuts hung kernel dispatches at the given deadline (and
+// implies -degrade). With -stats, the supervisor's counters and breaker
+// logbook are printed to stderr.
 //
 // Exit codes distinguish failure classes so scripts can react: 0 success,
 // 1 generic failure, 2 corrupt input (bad checksums, damaged records,
@@ -46,6 +55,7 @@ import (
 
 	"culzss/internal/core"
 	"culzss/internal/format"
+	"culzss/internal/health"
 	"culzss/internal/lzss"
 	"culzss/internal/stats"
 )
@@ -101,6 +111,8 @@ func run(args []string) error {
 		stream     = fs.Bool("stream", false, "framed streaming mode: bounded memory, suitable for pipes of any size")
 		segment    = fs.Int("segment", 0, "segment size in bytes for -stream (0 = 1 MiB)")
 		salvage    = fs.Bool("salvage", false, "with -d: best-effort decode of a damaged framed stream, skipping damaged segments")
+		gpuTimeout = fs.Duration("gpu-timeout", 0, "watchdog deadline per GPU dispatch; a hung kernel is cut and the work degrades to the CPU encoder (implies -degrade)")
+		degrade    = fs.Bool("degrade", false, "supervise the GPU path: launch failures quarantine the device and the work degrades to the byte-identical CPU encoder instead of failing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -130,6 +142,16 @@ func run(args []string) error {
 		params.Version = core.VersionParallel
 	default:
 		return fmt.Errorf("unknown -version %q", *version)
+	}
+	if *gpuTimeout < 0 {
+		return fmt.Errorf("-gpu-timeout must be >= 0, got %v", *gpuTimeout)
+	}
+	if *degrade || *gpuTimeout > 0 {
+		// Arm the device-health supervisor: per-device circuit breakers,
+		// the hung-kernel watchdog (when -gpu-timeout is set), and the
+		// byte-identical CPU degrade when the pool is exhausted. The CPU
+		// versions ignore the supervisor, so arming it is always safe.
+		params.Health = health.NewPool(nil, 1, health.Policy{Deadline: *gpuTimeout})
 	}
 
 	if *info {
@@ -282,6 +304,7 @@ func run(args []string) error {
 				report.D2H.Round(time.Microsecond), report.HostTime.Round(time.Microsecond),
 				report.SimulatedTotal().Round(time.Microsecond))
 		}
+		printHealth(params.Health)
 	}
 	if *profile {
 		if report == nil {
@@ -295,6 +318,21 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// printHealth reports the supervisor's counters to stderr when -degrade
+// or -gpu-timeout armed a pool and -stats asked for the breakdown.
+func printHealth(sup *health.Supervisor) {
+	if sup == nil {
+		return
+	}
+	snap := sup.Snapshot()
+	fmt.Fprintf(os.Stderr,
+		"gpu health: %d device(s), %d healthy, %d quarantined; %d redispatched, %d timed out, %d breaker open(s)\n",
+		snap.Devices, snap.Healthy, snap.Quarantined, snap.Redispatched, snap.TimedOut, snap.BreakerOpens)
+	for _, ev := range sup.Events() {
+		fmt.Fprintf(os.Stderr, "gpu health: device %d %v -> %v (%s)\n", ev.Device, ev.From, ev.To, ev.Cause)
+	}
 }
 
 // nopWriteCloser keeps stdout open across the "-" output path.
@@ -346,6 +384,13 @@ func compressStream(in, out string, params core.Params, segment int, showStats b
 		fmt.Fprintf(os.Stderr, "%s: %s -> %s framed (ratio %s) in %v\n",
 			in, stats.FormatBytes(n), stats.FormatBytes(cw.n),
 			stats.RatioPercent(int(cw.n), int(n)), time.Since(start).Round(time.Millisecond))
+		if params.Health != nil {
+			st := w.Stats()
+			fmt.Fprintf(os.Stderr,
+				"stream health: %d segment(s), %d retries, %d degraded, %d redispatched, %d timed out, %d breaker open(s), %d quarantined\n",
+				st.Segments, st.Retries, st.Degraded, st.Redispatched, st.TimedOut, st.BreakerOpens, st.Quarantined)
+		}
+		printHealth(params.Health)
 	}
 	return nil
 }

@@ -16,14 +16,18 @@
 // the bandwidth saved on the gateway-to-gateway hop.
 //
 // A production gateway also cannot die when its accelerator does, so this
-// example arms the seeded fault-injection layer (internal/faults) with a
-// persistently failing GPU launch site: every segment's kernel launches
-// fail, the Writer's retry policy exhausts its attempts, and each segment
-// degrades to the host-only CPU encoder. The transfer still completes
-// byte-identical — the gateway serves in degraded mode instead of dying —
-// and the example reports the retry/degrade counters. The egress opens
-// the stream in salvage mode, so a damaged hop would cost only the
-// damaged segments, not the connection.
+// example arms the device-health supervisor (internal/health) over a
+// two-device pool where device 0 fails every kernel launch — a GPU that
+// has fallen off the bus mid-service. The first failure trips device 0's
+// circuit breaker, the supervisor quarantines it and re-dispatches the
+// segment to its healthy sibling, and every later segment routes around
+// the corpse; a watchdog deadline bounds each dispatch so a hang could
+// never wedge the stream. Had the whole pool been sick, each segment
+// would have degraded to the byte-identical host encoder instead — the
+// gateway serves in degraded mode rather than dying. The example reports
+// the supervisor's counters and its breaker logbook. The egress opens the
+// stream in salvage mode, so a damaged hop would cost only the damaged
+// segments, not the connection.
 //
 // Run with:
 //
@@ -32,6 +36,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -39,9 +45,10 @@ import (
 	"time"
 
 	"culzss/internal/core"
+	"culzss/internal/cudasim"
 	"culzss/internal/datasets"
-	"culzss/internal/faults"
 	"culzss/internal/format"
+	"culzss/internal/health"
 	"culzss/internal/stats"
 )
 
@@ -106,10 +113,20 @@ func main() {
 	// Ingress gateway: plain in, framed stream out. The Writer cuts
 	// segments, compresses them concurrently, and emits them in order.
 	//
-	// The injector makes every simulated kernel launch fail — a GPU that
-	// has wedged mid-service. The Writer retries each segment with backoff
-	// and then degrades it to the host-only encoder, so the gateway keeps
-	// serving instead of dying.
+	// The supervisor watches a two-device pool where device 0 fails every
+	// launch. Its breaker opens on the first failure, the segment is
+	// re-dispatched to the healthy device 1, and the rest of the stream
+	// routes around the quarantined device; the watchdog deadline bounds
+	// each dispatch so even a hung kernel could not wedge the gateway.
+	dead := cudasim.FermiGTX480()
+	dead.LaunchHook = func(context.Context, string) error {
+		return errors.New("device fell off the bus")
+	}
+	sup := health.NewSupervisor([]health.DeviceSlot{
+		{Device: dead},
+		{Device: cudasim.FermiGTX480()},
+	}, health.Policy{Threshold: 1, OpenFor: time.Hour, Deadline: 5 * time.Second})
+
 	degraded := make(chan core.WriterStats, 1)
 	go func() {
 		in := accept(ingressIn)
@@ -118,8 +135,8 @@ func main() {
 		defer conn.Close()
 		cw := &countingWriter{w: conn}
 		params := core.Params{
-			Version:  core.Version1,
-			Injector: faults.New(42).Always(faults.SiteLaunch),
+			Version: core.Version1,
+			Health:  sup,
 		}
 		w := core.NewWriterOptions(cw, params, core.StreamOptions{
 			SegmentSize: segmentSize,
@@ -152,8 +169,11 @@ func main() {
 		log.Fatal("delivered data differs from what was sent")
 	}
 	fmt.Printf("delivered %s end to end, byte-identical\n", stats.FormatBytes(int64(len(delivered))))
-	fmt.Printf("gateway rode out a dead GPU: %d/%d segments degraded to the CPU encoder after %d retries\n",
-		ws.Degraded, ws.Segments, ws.Retries)
+	fmt.Printf("gateway rode out a dead GPU: %d/%d segments re-dispatched to the healthy device, %d degraded to CPU, %d device(s) quarantined\n",
+		ws.Redispatched, ws.Segments, ws.Degraded, ws.Quarantined)
+	for _, ev := range sup.Events() {
+		fmt.Printf("breaker logbook: device %d %v -> %v (%s)\n", ev.Device, ev.From, ev.To, ev.Cause)
+	}
 	fmt.Printf("gateway hop carried %s (%s of the plain size) — %s saved\n",
 		stats.FormatBytes(hopBytes),
 		stats.RatioPercent(int(hopBytes), len(payload)),

@@ -24,6 +24,7 @@ import (
 	"culzss/internal/faults"
 	"culzss/internal/format"
 	"culzss/internal/gpu"
+	"culzss/internal/health"
 	"culzss/internal/lzss"
 )
 
@@ -100,6 +101,14 @@ type Params struct {
 	// transfers, and per-chunk decode probe it for injected failures.
 	// Production callers leave it nil; the nil Injector is inert.
 	Injector *faults.Injector
+	// Health, when non-nil, supervises the GPU paths with a device pool:
+	// Version1 compressions route over healthy devices through per-device
+	// circuit breakers and the watchdog, re-dispatching failures and
+	// degrading to the byte-identical host encoder when the whole pool is
+	// quarantined. The streaming Writer additionally reports the
+	// supervisor's counters through Stats. Nil keeps the legacy
+	// single-device fail-fast dispatch.
+	Health *health.Supervisor
 }
 
 // Info describes the detected (simulated) device, the paper's
@@ -206,9 +215,14 @@ func CompressWithReport(data []byte, p Params) ([]byte, *gpu.Report, error) {
 			HostWorkers:     p.HostWorkers,
 			Stats:           p.Stats,
 			Injector:        p.Injector,
+			Health:          p.Health,
 		}
 		if v == Version1 {
-			return gpu.CompressV1(data, opts)
+			// With a supervisor, the one-shot call rides the device pool
+			// (redispatch + byte-identical CPU degrade); the report is nil
+			// for a degraded run.
+			cont, rep, _, err := gpu.CompressV1Supervised(data, opts, -1, "compress")
+			return cont, rep, err
 		}
 		return gpu.CompressV2(data, opts)
 	case VersionSerial:

@@ -30,6 +30,7 @@ import (
 
 	"culzss/internal/format"
 	"culzss/internal/gpu"
+	"culzss/internal/health"
 	"culzss/internal/lzss"
 )
 
@@ -62,6 +63,27 @@ type StreamOptions struct {
 	// segment compressions stop between retry attempts. nil means
 	// context.Background().
 	Context context.Context
+	// MaxInFlight is the admission bound: at most this many segments may
+	// be in the pipeline at once (Write blocks beyond it — that
+	// backpressure is the Writer's memory bound). 0 means HostWorkers.
+	// Values below HostWorkers also shrink the worker pool: admission is
+	// the bound, not worker count.
+	MaxInFlight int
+	// SegmentDeadline bounds one segment's total time on the GPU path
+	// (all retry attempts and, under Params.Health, the whole
+	// redispatch ladder). A segment that exceeds it degrades to the
+	// deterministic CPU encoder instead of failing the stream — the
+	// stream trades latency for completeness, never the reverse.
+	// 0 disables the per-segment deadline.
+	SegmentDeadline time.Duration
+	// DrainOnCancel selects graceful drain: when Context is cancelled,
+	// Write stops admitting new data (it returns the context's error as
+	// before) but every segment already accepted — in flight or buffered
+	// — is still compressed (degrading to the CPU encoder, which needs no
+	// device) and Close emits a valid trailer covering all accepted
+	// bytes. Without it, cancellation abandons in-flight work and Close
+	// reports the context's error.
+	DrainOnCancel bool
 }
 
 // RetryPolicy bounds how hard the Writer fights for a segment before
@@ -107,7 +129,9 @@ func (r RetryPolicy) maxBackoff() time.Duration {
 	return r.MaxBackoff
 }
 
-// WriterStats reports the Writer's retry/degrade activity.
+// WriterStats reports the Writer's retry/degrade activity, and — when a
+// health supervisor is armed via Params.Health — the supervisor's
+// device-pool counters over this Writer's lifetime.
 type WriterStats struct {
 	// Segments is the number of segments the pipeline processed.
 	Segments int
@@ -115,8 +139,14 @@ type WriterStats struct {
 	// segment's first.
 	Retries int
 	// Degraded is the number of segments that fell back to the CPU
-	// encoder after exhausting their GPU attempts.
+	// encoder after exhausting their GPU attempts (or, supervised, after
+	// the whole pool was quarantined or the segment deadline expired).
 	Degraded int
+	// TimedOut counts watchdog-cut device operations; Redispatched counts
+	// work re-routed to a sibling device after a failure; BreakerOpens
+	// counts circuit-breaker Open transitions; Quarantined is the number
+	// of devices currently quarantined. All zero without a supervisor.
+	TimedOut, Redispatched, BreakerOpens, Quarantined int
 }
 
 func (o StreamOptions) segmentSize() int {
@@ -157,7 +187,12 @@ type Writer struct {
 	opts    StreamOptions
 	segSize int
 	workers int
+	bound   int // admission bound: max segments in the pipeline
 	ctx     context.Context
+
+	// healthBase is the supervisor's counter baseline at construction;
+	// Stats reports deltas against it (the pool is often shared).
+	healthBase health.Snapshot
 
 	started bool
 	closed  bool
@@ -212,25 +247,46 @@ func NewWriterOptions(dst io.Writer, p Params, o StreamOptions) *Writer {
 	if s := p.Injector.Seed(); s != 0 {
 		seed = s
 	}
+	bound := o.MaxInFlight
+	if bound <= 0 {
+		bound = workers
+	}
+	if workers > bound {
+		workers = bound // no point in more workers than admitted segments
+	}
 	w := &Writer{
 		dst:     dst,
 		params:  p,
 		opts:    o,
 		segSize: o.segmentSize(),
 		workers: workers,
+		bound:   bound,
 		ctx:     ctx,
 		rng:     rand.New(rand.NewSource(seed)),
+	}
+	if p.Health != nil {
+		w.healthBase = p.Health.Snapshot()
 	}
 	w.bufPool.New = func() any { return make([]byte, 0, w.segSize) }
 	return w
 }
 
-// Stats returns a snapshot of the Writer's retry/degrade counters. It is
-// safe to call concurrently with Write and after Close.
+// Stats returns a snapshot of the Writer's retry/degrade counters, plus
+// the supervisor's device-pool counters (as deltas over this Writer's
+// lifetime) when Params.Health is armed. It is safe to call concurrently
+// with Write and after Close.
 func (w *Writer) Stats() WriterStats {
 	w.wstatsMu.Lock()
-	defer w.wstatsMu.Unlock()
-	return w.wstats
+	st := w.wstats
+	w.wstatsMu.Unlock()
+	if sup := w.params.Health; sup != nil {
+		snap := sup.Snapshot()
+		st.TimedOut = snap.TimedOut - w.healthBase.TimedOut
+		st.Redispatched = snap.Redispatched - w.healthBase.Redispatched
+		st.BreakerOpens = snap.BreakerOpens - w.healthBase.BreakerOpens
+		st.Quarantined = snap.Quarantined
+	}
+	return st
 }
 
 // ctxErr reports the Writer context's error, if it is done.
@@ -252,12 +308,13 @@ func (w *Writer) start() {
 	if _, err := format.WriteStreamHeader(w.dst, w.segSize); err != nil {
 		w.setErr(fmt.Errorf("core: writing stream header: %w", err))
 	}
-	// pending's capacity is the memory bound: at most cap(pending)+1
-	// segments exist concurrently (one being handed over in flush).
-	w.pending = make(chan *segJob, w.workers)
+	// pending's capacity is the admission bound (StreamOptions.MaxInFlight,
+	// default HostWorkers): at most cap(pending)+1 segments exist
+	// concurrently (one being handed over in flush) — the memory bound.
+	w.pending = make(chan *segJob, w.bound)
 	// jobs can hold every in-flight job, so sending to it never blocks
 	// once the pending send has succeeded.
-	w.jobs = make(chan *segJob, w.workers+1)
+	w.jobs = make(chan *segJob, w.bound+1)
 	w.emitted = make(chan struct{})
 	for i := 0; i < w.workers; i++ {
 		w.workerWG.Add(1)
@@ -271,7 +328,7 @@ func (w *Writer) start() {
 func (w *Writer) worker() {
 	defer w.workerWG.Done()
 	for job := range w.jobs {
-		job.result <- w.compressSegment(job.data)
+		job.result <- w.compressSegment(job.index, job.data)
 	}
 }
 
@@ -310,15 +367,19 @@ func (w *Writer) release(job *segJob) {
 	job.data = nil
 }
 
-// compressSegment compresses one segment with the Writer's parameters,
+// compressSegment compresses segment index with the Writer's parameters,
 // optionally routing V1 through the pipelined CUDA-stream scheduler.
 //
 // GPU-resolved versions run under the retry policy: a failed attempt is
 // retried after a jittered exponential backoff, and a segment that still
 // fails after MaxAttempts degrades to the host-only gpu.CompressV1CPU
 // encoder (for Version1, a bit-identical container) unless the policy
-// forbids it. CPU versions fail fast — their errors are deterministic.
-func (w *Writer) compressSegment(data []byte) segResult {
+// forbids it. With Params.Health armed, Version1 segments additionally
+// ride the supervised device pool (per-device breakers, watchdog,
+// redispatch) inside each attempt. StreamOptions.SegmentDeadline bounds
+// the whole GPU phase; expiry degrades to the CPU encoder. CPU versions
+// fail fast — their errors are deterministic.
+func (w *Writer) compressSegment(index int, data []byte) segResult {
 	p := w.params
 	// Workers run concurrently; a shared SearchStats would race. Collect
 	// locally and merge under the stats mutex.
@@ -333,32 +394,6 @@ func (w *Writer) compressSegment(data []byte) segResult {
 		p.Version = v
 	}
 
-	attempt := func() ([]byte, error) {
-		if local != nil {
-			*local = lzss.SearchStats{} // drop stats from a failed attempt
-		}
-		if v == Version1 && w.opts.GPUStreams > 1 {
-			cfg, cfgErr := p.gpuConfig(Version1)
-			if cfgErr != nil {
-				return nil, cfgErr
-			}
-			out, _, err := gpu.CompressV1Streamed(data, gpu.Options{
-				Device:          p.Device,
-				ChunkSize:       p.ChunkSize,
-				ThreadsPerBlock: p.ThreadsPerBlock,
-				Config:          cfg,
-				HostWorkers:     1, // the segment pipeline is the host parallelism
-				Stats:           local,
-				Injector:        p.Injector,
-				Context:         w.ctx,
-			}, w.opts.GPUStreams)
-			return out, err
-		}
-		pp := p
-		pp.HostWorkers = 1 // ditto
-		return Compress(data, pp)
-	}
-
 	merge := func() {
 		if local != nil {
 			w.statsMu.Lock()
@@ -368,11 +403,76 @@ func (w *Writer) compressSegment(data []byte) segResult {
 	}
 
 	if v != Version1 && v != Version2 {
-		out, err := attempt()
+		pp := p
+		pp.HostWorkers = 1 // the segment pipeline is the host parallelism
+		out, err := Compress(data, pp)
 		if err == nil {
 			merge()
 		}
 		return segResult{container: out, err: err}
+	}
+
+	// The segment context bounds the whole GPU phase: every attempt, the
+	// backoff sleeps, and (supervised) the redispatch ladder. Expiry does
+	// not fail the segment — it routes to the CPU degrade below.
+	segCtx := w.ctx
+	cancel := func() {}
+	if d := w.opts.SegmentDeadline; d > 0 {
+		segCtx, cancel = context.WithTimeout(w.ctx, d)
+	}
+	defer cancel()
+
+	// abortErr classifies a cancellation: non-nil means the segment must
+	// fail with it (the stream context is done and drain is off); nil
+	// means the GPU phase merely ended (segment deadline expired, or
+	// drain mode) and the segment should degrade.
+	abortErr := func() error {
+		if w.ctxErr() != nil && !w.opts.DrainOnCancel {
+			return w.ctx.Err()
+		}
+		return nil
+	}
+
+	supDegraded := false
+	attempt := func() ([]byte, error) {
+		if local != nil {
+			*local = lzss.SearchStats{} // drop stats from a failed attempt
+		}
+		if v == Version1 {
+			cfg, cfgErr := p.gpuConfig(Version1)
+			if cfgErr != nil {
+				return nil, cfgErr
+			}
+			opts := gpu.Options{
+				Device:          p.Device,
+				ChunkSize:       p.ChunkSize,
+				ThreadsPerBlock: p.ThreadsPerBlock,
+				Config:          cfg,
+				HostWorkers:     1,
+				Stats:           local,
+				Injector:        p.Injector,
+				Context:         segCtx,
+				Health:          p.Health,
+			}
+			if w.opts.GPUStreams > 1 {
+				// The slice scheduler consults opts.Health internally.
+				out, _, err := gpu.CompressV1Streamed(data, opts, w.opts.GPUStreams)
+				return out, err
+			}
+			if p.Health != nil {
+				out, _, degraded, err := gpu.CompressV1Supervised(
+					data, opts, index%p.Health.Devices(), fmt.Sprintf("segment %d", index))
+				if err == nil {
+					supDegraded = degraded
+				}
+				return out, err
+			}
+			out, _, err := gpu.CompressV1(data, opts)
+			return out, err
+		}
+		pp := p
+		pp.HostWorkers = 1
+		return Compress(data, pp)
 	}
 
 	pol := w.opts.Retry
@@ -380,24 +480,34 @@ func (w *Writer) compressSegment(data []byte) segResult {
 	var lastErr error
 	retries := 0
 	for a := 1; ; a++ {
-		if err := w.ctxErr(); err != nil {
-			return segResult{retries: retries, err: err}
+		if cerr := segCtx.Err(); cerr != nil {
+			if err := abortErr(); err != nil {
+				return segResult{retries: retries, err: err}
+			}
+			lastErr = cerr
+			break // deadline expired (or draining): degrade
 		}
 		out, err := attempt()
 		if err == nil {
 			merge()
-			return segResult{container: out, retries: retries}
+			return segResult{container: out, retries: retries, degraded: supDegraded}
 		}
 		lastErr = err
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return segResult{retries: retries, err: err}
+			if aerr := abortErr(); aerr != nil {
+				return segResult{retries: retries, err: aerr}
+			}
+			break // the segment deadline cut the attempt: degrade
 		}
 		if a >= maxAttempts {
 			break
 		}
 		retries++
-		if err := w.sleepBackoff(a); err != nil {
-			return segResult{retries: retries, err: err}
+		if err := w.sleepBackoff(segCtx, a); err != nil {
+			if aerr := abortErr(); aerr != nil {
+				return segResult{retries: retries, err: aerr}
+			}
+			break
 		}
 	}
 
@@ -415,13 +525,21 @@ func (w *Writer) compressSegment(data []byte) segResult {
 	if local != nil {
 		*local = lzss.SearchStats{}
 	}
+	// Under graceful drain the stream context may already be cancelled;
+	// the fallback still runs to completion so Close can emit a trailer
+	// covering every accepted byte (only reachable with DrainOnCancel —
+	// otherwise a cancelled stream returned above).
+	fbCtx := w.ctx
+	if w.ctxErr() != nil {
+		fbCtx = context.Background()
+	}
 	out, err := gpu.CompressV1CPU(data, gpu.Options{
 		ChunkSize:       p.ChunkSize,
 		ThreadsPerBlock: p.ThreadsPerBlock,
 		Config:          cfg,
 		HostWorkers:     1,
 		Stats:           local,
-		Context:         w.ctx,
+		Context:         fbCtx,
 	})
 	if err != nil {
 		return segResult{retries: retries,
@@ -432,8 +550,8 @@ func (w *Writer) compressSegment(data []byte) segResult {
 }
 
 // sleepBackoff sleeps the jittered exponential delay before retry number
-// attempt, returning early with the context's error if it fires first.
-func (w *Writer) sleepBackoff(attempt int) error {
+// attempt, returning early with ctx's error if it fires first.
+func (w *Writer) sleepBackoff(ctx context.Context, attempt int) error {
 	pol := w.opts.Retry
 	d := pol.baseBackoff() << uint(attempt-1)
 	if limit := pol.maxBackoff(); d > limit || d <= 0 {
@@ -448,8 +566,8 @@ func (w *Writer) sleepBackoff(attempt int) error {
 	select {
 	case <-t.C:
 		return nil
-	case <-w.ctx.Done():
-		return w.ctx.Err()
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -519,13 +637,22 @@ func (w *Writer) flushSegment() error {
 		w.maxFlight = w.inFlight
 	}
 	w.flightMu.Unlock()
-	select {
-	case w.pending <- job:
-	case <-w.ctx.Done():
-		// The job never entered the pipeline; retire it here.
-		w.release(job)
-		w.setErr(w.ctx.Err())
-		return w.err()
+	if w.opts.DrainOnCancel {
+		// Graceful drain: the bytes were accepted, so the segment enters
+		// the pipeline even while the stream context is cancelled — the
+		// workers degrade it to the CPU encoder and the trailer stays
+		// honest. The send still bounds memory (pending drains because
+		// in-flight segments always complete under drain).
+		w.pending <- job
+	} else {
+		select {
+		case w.pending <- job:
+		case <-w.ctx.Done():
+			// The job never entered the pipeline; retire it here.
+			w.release(job)
+			w.setErr(w.ctx.Err())
+			return w.err()
+		}
 	}
 	w.jobs <- job
 	return w.err()

@@ -48,6 +48,7 @@
 package cudasim
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -109,10 +110,14 @@ type Device struct {
 
 	// LaunchHook, when non-nil, runs before every kernel launch (both
 	// engines); a non-nil error aborts the launch without executing any
-	// block, modeling a driver or device launch failure. The fault
-	// injection suite (internal/faults) plugs in here; production
-	// devices leave it nil.
-	LaunchHook func(kernel string) error
+	// block, modeling a driver or device launch failure. The context is
+	// the launch's (LaunchConfig.Context for the phased engine,
+	// context.Background() for the goroutine engine): a hook that blocks
+	// — the fault-injection layer's hang rule, modeling a wedged kernel —
+	// must select on it so a watchdog cancelling the launch unwedges the
+	// hook promptly. The fault injection suite (internal/faults) plugs in
+	// here; production devices leave it nil.
+	LaunchHook func(ctx context.Context, kernel string) error
 }
 
 // FermiGTX480 models the paper's testbed GPU: a GeForce GTX 480

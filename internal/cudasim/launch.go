@@ -1,6 +1,7 @@
 package cudasim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -113,7 +114,7 @@ func (d *Device) Launch(blocks, threadsPerBlock, sharedWords int, hostWorkers in
 		return fmt.Errorf("cudasim: shared %d words exceeds per-block budget", sharedWords)
 	}
 	if d.LaunchHook != nil {
-		if err := d.LaunchHook("goroutine-kernel"); err != nil {
+		if err := d.LaunchHook(context.Background(), "goroutine-kernel"); err != nil {
 			return fmt.Errorf("cudasim: launch failed: %w", err)
 		}
 	}

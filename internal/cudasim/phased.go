@@ -1,6 +1,7 @@
 package cudasim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -48,6 +49,12 @@ type LaunchConfig struct {
 	// HostWorkers bounds the goroutines executing blocks functionally;
 	// 0 means GOMAXPROCS. This affects wall-clock only, never the model.
 	HostWorkers int
+	// Context, when non-nil, is handed to the device's LaunchHook so a
+	// blocking hook (an injected hang) can be cut by cancelling the
+	// launch; nil means context.Background(). The kernel body itself is
+	// not preempted — cancellation points live in the hook and in the
+	// callers' chunk/shard loops.
+	Context context.Context
 }
 
 func (c *LaunchConfig) validate(d *Device) error {
@@ -312,7 +319,11 @@ func (d *Device) LaunchPhased(cfg LaunchConfig, kernel func(b *BlockCtx)) (*Laun
 		return nil, err
 	}
 	if d.LaunchHook != nil {
-		if err := d.LaunchHook(cfg.Kernel); err != nil {
+		ctx := cfg.Context
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		if err := d.LaunchHook(ctx, cfg.Kernel); err != nil {
 			return nil, fmt.Errorf("cudasim: launch failed: %w", err)
 		}
 	}

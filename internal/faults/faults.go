@@ -23,16 +23,27 @@
 // gpu.Options.Injector and core.Params.Injector carry an *Injector down
 // the stack; a nil injector is inert (every method on a nil *Injector is
 // a no-op), so production paths pay a single pointer test. The
-// cudasim.Device side is a plain function hook (Device.LaunchHook), kept
-// free of any dependency on this package; Injector.LaunchHook adapts.
+// cudasim.Device side is a context-aware function hook
+// (Device.LaunchHook), kept free of any dependency on this package;
+// Injector.LaunchHook adapts.
+//
+// Beyond the fire rules, every site can be armed with a latency rule
+// (Hang/HangFirst — the "SiteHang" rule of the device-health suite): the
+// probe blocks for a fixed duration before answering, modeling a hung
+// kernel or stalled copy. FaultCtx (and the LaunchHook adapter) cut an
+// in-progress hang when the probe's context is cancelled, which is what
+// lets internal/health's watchdog turn a wedged launch into a typed
+// timeout instead of an indefinite stall.
 package faults
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"sync"
+	"time"
 )
 
 // Site identifies a fault-injection point in the pipeline.
@@ -94,6 +105,14 @@ type rule struct {
 	every     int     // every nth attempt faults (transient)
 	prob      float64 // per-attempt fault probability (transient)
 	always    bool    // every attempt faults (persistent)
+
+	// hang delays the probe before the fire decision is delivered — the
+	// latency-injection ("SiteHang") rule that models a wedged kernel or
+	// stalled transfer. FaultCtx interrupts the delay when its context is
+	// cancelled, which is how a watchdog deadline cuts a hung launch.
+	hang time.Duration
+	// hangFirst bounds the hang to the first n probes; 0 hangs every probe.
+	hangFirst int
 }
 
 // Counts summarises a site's probe history.
@@ -141,6 +160,39 @@ func (in *Injector) setRule(site Site, r rule) *Injector {
 		return nil
 	}
 	in.mu.Lock()
+	// Fire rules replace each other but never clear an armed hang, so
+	// Hang composes with any of them in either order.
+	old := in.rules[site]
+	r.hang, r.hangFirst = old.hang, old.hangFirst
+	in.rules[site] = r
+	in.mu.Unlock()
+	return in
+}
+
+// Hang arms site's latency-injection rule: every probe of the site blocks
+// for d before its fire decision is delivered, modeling a hung kernel
+// launch or a stalled transfer. The delay is interruptible only through
+// FaultCtx (probes through plain Fault sleep the full d); a watchdog that
+// cancels the probe's context turns the hang into a prompt context error.
+// Hang composes with the fire rules: Hang+Always is a device that is both
+// slow and broken.
+func (in *Injector) Hang(site Site, d time.Duration) *Injector {
+	return in.setHang(site, d, 0)
+}
+
+// HangFirst arms site to hang only on its first n probes (a device that
+// wedges, is power-cycled, and comes back responsive).
+func (in *Injector) HangFirst(site Site, n int, d time.Duration) *Injector {
+	return in.setHang(site, d, n)
+}
+
+func (in *Injector) setHang(site Site, d time.Duration, first int) *Injector {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	r := in.rules[site]
+	r.hang, r.hangFirst = d, first
 	in.rules[site] = r
 	in.mu.Unlock()
 	return in
@@ -170,17 +222,28 @@ func (in *Injector) Always(site Site) *Injector {
 }
 
 // Fault probes site once and returns the injected *Fault, or nil when the
-// probe passes (or the injector is nil / the site unarmed).
+// probe passes (or the injector is nil / the site unarmed). An armed hang
+// sleeps its full duration — use FaultCtx where a watchdog must be able
+// to cut the delay.
 func (in *Injector) Fault(site Site) error {
+	return in.FaultCtx(context.Background(), site)
+}
+
+// FaultCtx is Fault with an interruptible hang: if the site's Hang rule
+// fires, the probe blocks for the armed duration or until ctx is done,
+// whichever comes first. A cancelled hang returns ctx's error (wrapped),
+// so callers observe context.DeadlineExceeded / context.Canceled through
+// errors.Is — the shape a watchdog-cut hung kernel surfaces as.
+func (in *Injector) FaultCtx(ctx context.Context, site Site) error {
 	if in == nil {
 		return nil
 	}
 	in.mu.Lock()
-	defer in.mu.Unlock()
 	in.attempts[site]++
 	attempt := in.attempts[site]
 	r, ok := in.rules[site]
 	if !ok {
+		in.mu.Unlock()
 		return nil
 	}
 	var fire, transient bool
@@ -194,10 +257,27 @@ func (in *Injector) Fault(site Site) error {
 	case r.prob > 0:
 		fire, transient = in.rng.Float64() < r.prob, true
 	}
+	if fire {
+		in.injected[site]++
+	}
+	hang := r.hang
+	if hang > 0 && r.hangFirst > 0 && attempt > r.hangFirst {
+		hang = 0
+	}
+	in.mu.Unlock() // never sleep under the injector mutex
+
+	if hang > 0 {
+		t := time.NewTimer(hang)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("faults: hang at %s cut (attempt %d): %w", site, attempt, ctx.Err())
+		}
+	}
 	if !fire {
 		return nil
 	}
-	in.injected[site]++
 	return &Fault{Site: site, Attempt: attempt, Transient: transient}
 }
 
@@ -211,15 +291,17 @@ func (in *Injector) Counts(site Site) Counts {
 	return Counts{Attempts: in.attempts[site], Injected: in.injected[site]}
 }
 
-// LaunchHook adapts the injector's SiteLaunch rule to the plain function
-// hook cudasim.Device carries (the device stays free of this package).
-// A nil injector returns a nil hook.
-func (in *Injector) LaunchHook() func(kernel string) error {
+// LaunchHook adapts the injector's SiteLaunch rule to the context-aware
+// function hook cudasim.Device carries (the device stays free of this
+// package). A nil injector returns a nil hook. The context is the
+// launch's: a watchdog that cancels it cuts an armed hang mid-sleep, so a
+// hung kernel surfaces as a prompt context error instead of a wedge.
+func (in *Injector) LaunchHook() func(ctx context.Context, kernel string) error {
 	if in == nil {
 		return nil
 	}
-	return func(kernel string) error {
-		if err := in.Fault(SiteLaunch); err != nil {
+	return func(ctx context.Context, kernel string) error {
+		if err := in.FaultCtx(ctx, SiteLaunch); err != nil {
 			return fmt.Errorf("kernel %q: %w", kernel, err)
 		}
 		return nil

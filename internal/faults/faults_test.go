@@ -2,6 +2,7 @@ package faults
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"strconv"
@@ -141,7 +142,7 @@ func TestConcurrentProbesDeterministicVolume(t *testing.T) {
 func TestLaunchHookWrapsKernelName(t *testing.T) {
 	in := New(envSeed(1)).Always(SiteLaunch)
 	hook := in.LaunchHook()
-	err := hook("culzss_v1")
+	err := hook(context.Background(), "culzss_v1")
 	if err == nil || !IsInjected(err) {
 		t.Fatalf("hook should inject, got %v", err)
 	}

@@ -54,6 +54,7 @@ func Decompress(container []byte, opts Options) ([]byte, *Report, error) {
 		ThreadsPerBlock: tpb,
 		Serialization:   SerializationDecode,
 		HostWorkers:     opts.HostWorkers,
+		Context:         opts.Context,
 	}, func(b *cudasim.BlockCtx) {
 		base := b.Index * tpb
 		b.Parallel(func(th *cudasim.ThreadCtx) {

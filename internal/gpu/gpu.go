@@ -48,6 +48,7 @@ import (
 	"culzss/internal/cudasim"
 	"culzss/internal/faults"
 	"culzss/internal/format"
+	"culzss/internal/health"
 	"culzss/internal/lzss"
 )
 
@@ -133,8 +134,18 @@ type Options struct {
 	// Context, when non-nil, is checked at launch, slice, and shard
 	// boundaries so a stuck or abandoned stream can be cancelled cleanly
 	// (the multi-call entry points CompressV1Streamed / CompressV1MultiGPU
-	// stop between slices; single launches check once up front).
+	// stop between slices; single launches check once up front). It is
+	// also handed to the device's LaunchHook, so a hang injected at the
+	// launch site unwedges when the context is cancelled.
 	Context context.Context
+	// Health, when non-nil, arms the resilient dispatch paths: the
+	// multi-GPU and streamed entry points route shards over the
+	// supervisor's device pool through per-device circuit breakers and the
+	// watchdog, re-dispatching failed shards to sibling devices and
+	// degrading to the byte-identical CompressV1CPU encoder when the whole
+	// pool is quarantined. Nil keeps the legacy fail-fast dispatch
+	// (first shard error aborts the run, attributed to its device).
+	Health *health.Supervisor
 }
 
 func (o *Options) device() *cudasim.Device {
@@ -162,9 +173,15 @@ func (o *Options) ctxErr() error {
 }
 
 // transferFault probes the injector's transfer site, naming the copy
-// direction.
+// direction. The probe is context-aware: an injected transfer hang is cut
+// when o.Context is cancelled (the watchdog's cancellation point for a
+// wedged copy).
 func (o *Options) transferFault(dir string) error {
-	if err := o.Injector.Fault(faults.SiteTransfer); err != nil {
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := o.Injector.FaultCtx(ctx, faults.SiteTransfer); err != nil {
 		return fmt.Errorf("gpu: %s transfer: %w", dir, err)
 	}
 	return nil

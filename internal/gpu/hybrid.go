@@ -22,11 +22,23 @@ import (
 // negative value asks for an automatic split from a quick throughput
 // probe of both sides.
 type HybridReport struct {
+	// GPU is the device report of the GPU share; nil when the share was
+	// empty or (under a supervisor) degraded to the CPU encoder.
 	GPU *Report
 	// CPUTime is the measured host compression time of the CPU share.
 	CPUTime time.Duration
 	// CPUFraction is the share of chunks the CPU processed.
 	CPUFraction float64
+	// ProbeErr records why the automatic split probe fell back to an
+	// all-GPU split ("" when the probe succeeded or was not requested).
+	// The probe is advisory — its failure must not fail the run — but it
+	// must not be silent either: a probe that dies on the same fault that
+	// will kill the main run is the earliest available signal.
+	ProbeErr string
+	// GPUDegraded reports that the GPU share was encoded by the
+	// byte-identical CPU fallback because the supervisor's pool was
+	// exhausted (always false without a supervisor).
+	GPUDegraded bool
 	InputBytes  int
 	OutputBytes int
 }
@@ -55,8 +67,9 @@ func CompressV1Hybrid(data []byte, opts Options, cpuFraction float64) ([]byte, *
 		return nil, nil, err
 	}
 
+	var probeErr string
 	if cpuFraction < 0 {
-		cpuFraction = autoSplit(data, opts)
+		cpuFraction, probeErr = autoSplit(data, opts)
 	}
 
 	chunks := format.SplitChunks(data, opts.ChunkSize)
@@ -67,7 +80,7 @@ func CompressV1Hybrid(data []byte, opts Options, cpuFraction float64) ([]byte, *
 	// The CPU takes the tail so the GPU shard stays chunk-aligned at 0.
 	gpuData := data[:max(0, len(data)-sumLen(chunks[len(chunks)-nCPU:]))]
 
-	rep := &HybridReport{InputBytes: len(data), CPUFraction: cpuFraction}
+	rep := &HybridReport{InputBytes: len(data), CPUFraction: cpuFraction, ProbeErr: probeErr}
 	streams := make([][]byte, len(chunks))
 
 	var wg sync.WaitGroup
@@ -84,6 +97,16 @@ func CompressV1Hybrid(data []byte, opts Options, cpuFraction float64) ([]byte, *
 		var cwg sync.WaitGroup
 		var mu sync.Mutex
 		for i := len(chunks) - nCPU; i < len(chunks); i++ {
+			// A cancelled context abandons the CPU share between chunks
+			// (the queued-up workers drain; nothing partial is kept).
+			if err := opts.ctxErr(); err != nil {
+				mu.Lock()
+				if cpuErr == nil {
+					cpuErr = fmt.Errorf("gpu: hybrid cpu chunk %d: %w", i, err)
+				}
+				mu.Unlock()
+				break
+			}
 			cwg.Add(1)
 			sem <- struct{}{}
 			go func(i int) {
@@ -106,7 +129,21 @@ func CompressV1Hybrid(data []byte, opts Options, cpuFraction float64) ([]byte, *
 	}()
 
 	if len(gpuData) > 0 {
-		cont, r, err := CompressV1(gpuData, opts)
+		var (
+			cont []byte
+			r    *Report
+			err  error
+		)
+		if opts.Health != nil {
+			// Supervised: the GPU share rides the device pool with
+			// redispatch and CPU degrade, so a sick device cannot fail
+			// the hybrid run.
+			var res dispatchResult
+			res, err = dispatchV1(opts.Health, gpuData, opts, -1, "hybrid gpu shard")
+			cont, r, rep.GPUDegraded = res.Container, res.Report, res.Degraded
+		} else {
+			cont, r, err = CompressV1(gpuData, opts)
+		}
 		if err != nil {
 			gpuErr = err
 		} else {
@@ -136,38 +173,40 @@ func CompressV1Hybrid(data []byte, opts Options, cpuFraction float64) ([]byte, *
 }
 
 // autoSplit probes both sides on a small sample and returns the CPU share
-// that balances their finish times.
-func autoSplit(data []byte, opts Options) float64 {
+// that balances their finish times, plus a non-empty probe-failure
+// description when either side's probe died (the split then defaults to
+// all-GPU — advisory probe, surfaced not swallowed).
+func autoSplit(data []byte, opts Options) (frac float64, probeErr string) {
 	sample := data
 	if len(sample) > 128<<10 {
 		sample = sample[:128<<10]
 	}
 	if len(sample) == 0 {
-		return 0
+		return 0, ""
 	}
 	start := time.Now()
 	if _, err := lzss.EncodeByteAligned(sample, opts.Config, lzss.SearchBrute, nil); err != nil {
-		return 0
+		return 0, fmt.Sprintf("cpu probe: %v", err)
 	}
 	cpuT := time.Since(start)
 	_, rep, err := CompressV1(sample, opts)
 	if err != nil {
-		return 0
+		return 0, fmt.Sprintf("gpu probe: %v", err)
 	}
 	gpuT := rep.SaturatedTotal()
 	// Split inversely proportional to the per-byte times.
 	c, g := float64(cpuT), float64(gpuT)
 	if c+g == 0 {
-		return 0
+		return 0, ""
 	}
-	frac := g / (c + g)
+	frac = g / (c + g)
 	if frac < 0.05 {
 		frac = 0
 	}
 	if frac > 0.95 {
 		frac = 0.95
 	}
-	return frac
+	return frac, ""
 }
 
 func sumLen(chunks [][]byte) int {

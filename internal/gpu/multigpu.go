@@ -5,13 +5,16 @@ import (
 	"time"
 
 	"culzss/internal/format"
+	"culzss/internal/health"
 )
 
 // MultiGPUReport describes a multi-device run (§VII: "a multi GPU
 // implementation can also increase the performance ... we suspect the
 // division of the GPUs by threads introduced thread overhead").
 type MultiGPUReport struct {
-	// PerDevice holds each device's individual report.
+	// PerDevice holds each device's individual report (one entry per shard
+	// that completed on a device; shards that degraded to the CPU under a
+	// supervisor contribute no entry).
 	PerDevice []*Report
 	// BusTime is the serialized PCIe time: the devices share one host
 	// root complex, so their copies contend.
@@ -26,6 +29,15 @@ type MultiGPUReport struct {
 	DriverOverhead time.Duration
 	InputBytes     int
 	OutputBytes    int
+
+	// Supervised-dispatch counters (all zero when Options.Health is nil):
+	// Redispatched counts shards re-routed to a sibling device after a
+	// failure; TimedOut counts watchdog-cut shard attempts; BreakerOpens
+	// counts breaker Open transitions during the run; DegradedShards
+	// counts shards the pool could not serve that fell back to the
+	// byte-identical CPU encoder; Quarantined is the number of devices
+	// left quarantined when the run finished.
+	Redispatched, TimedOut, BreakerOpens, DegradedShards, Quarantined int
 }
 
 // SimulatedTotal composes the modeled end-to-end multi-GPU time: shared
@@ -43,11 +55,20 @@ func (r *MultiGPUReport) SimulatedTotal() time.Duration {
 const perDeviceDispatchOverhead = 2 * time.Millisecond
 
 // CompressV1MultiGPU splits the input across nGPUs simulated devices,
-// compresses every shard with the V1 kernel concurrently, and reassembles
-// one container. The report shows why small inputs see no speed-up: the
+// compresses every shard with the V1 kernel, and reassembles one
+// container. The report shows why small inputs see no speed-up: the
 // shared PCIe bus serializes the transfers and the per-device dispatch
 // overhead eats the kernel-time win — reproducing the paper's negative
 // §VII observation — while large inputs do gain on the kernel span.
+//
+// Dispatch has two modes. Without a supervisor (opts.Health == nil) the
+// shards are statically assigned — shard g runs on device g and the first
+// failure aborts the run, attributed to its device. With a supervisor the
+// assignment is dynamic: each shard prefers its home slot but any healthy
+// device may serve it, a failed shard is re-dispatched to a sibling, and
+// when the whole pool is quarantined the shard degrades to the
+// byte-identical CPU encoder — the container is the same bytes either
+// way. A cancelled opts.Context stops the run between shards.
 func CompressV1MultiGPU(data []byte, opts Options, nGPUs int) ([]byte, *MultiGPUReport, error) {
 	if nGPUs < 1 {
 		return nil, nil, fmt.Errorf("gpu: need >= 1 GPU, got %d", nGPUs)
@@ -66,6 +87,12 @@ func CompressV1MultiGPU(data []byte, opts Options, nGPUs int) ([]byte, *MultiGPU
 	}
 	perGPU := (nChunks + nGPUs - 1) / nGPUs
 
+	sup := opts.Health
+	var before health.Snapshot
+	if sup != nil {
+		before = sup.Snapshot()
+	}
+
 	rep := &MultiGPUReport{InputBytes: len(data)}
 	var allStreams [][]byte
 	for g := 0; g < nGPUs; g++ {
@@ -73,17 +100,40 @@ func CompressV1MultiGPU(data []byte, opts Options, nGPUs int) ([]byte, *MultiGPU
 		if lo >= len(data) && len(data) > 0 {
 			break
 		}
+		// A cancelled context abandons the run between shards — the
+		// cleanest stopping point (the in-flight shard has already been
+		// adopted or discarded whole).
+		if err := opts.ctxErr(); err != nil {
+			return nil, nil, fmt.Errorf("gpu: shard %d: %w", g, err)
+		}
 		hi := lo + perGPU*chunkSize
 		if hi > len(data) {
 			hi = len(data)
 		}
 		shard := data[lo:hi]
-		shardOpts := opts
-		shardOpts.Device = base.Clone()
-		cont, r, err := CompressV1(shard, shardOpts)
-		if err != nil {
-			return nil, nil, fmt.Errorf("gpu: device %d: %w", g, err)
+
+		var (
+			cont     []byte
+			r        *Report
+			degraded bool
+		)
+		if sup == nil {
+			// Legacy fail-fast static assignment: shard g <-> device g.
+			shardOpts := opts
+			shardOpts.Device = base.Clone()
+			var err error
+			cont, r, err = CompressV1(shard, shardOpts)
+			if err != nil {
+				return nil, nil, fmt.Errorf("gpu: device %d: %w", g, err)
+			}
+		} else {
+			res, err := dispatchV1(sup, shard, opts, g%sup.Devices(), fmt.Sprintf("shard %d", g))
+			if err != nil {
+				return nil, nil, err
+			}
+			cont, r, degraded = res.Container, res.Report, res.Degraded
 		}
+
 		h, off, err := format.ParseHeader(cont)
 		if err != nil {
 			return nil, nil, fmt.Errorf("gpu: device %d: reparsing shard container: %w", g, err)
@@ -91,6 +141,10 @@ func CompressV1MultiGPU(data []byte, opts Options, nGPUs int) ([]byte, *MultiGPU
 		payload := cont[off:]
 		for _, b := range h.ChunkBounds() {
 			allStreams = append(allStreams, payload[b.CompOff:b.CompOff+b.CompLen])
+		}
+		if degraded {
+			rep.DegradedShards++
+			continue
 		}
 		rep.PerDevice = append(rep.PerDevice, r)
 		rep.BusTime += r.H2D + r.D2H
@@ -100,6 +154,15 @@ func CompressV1MultiGPU(data []byte, opts Options, nGPUs int) ([]byte, *MultiGPU
 		rep.HostTime += r.HostTime
 	}
 	rep.DriverOverhead = time.Duration(len(rep.PerDevice)) * perDeviceDispatchOverhead
+	if sup != nil {
+		// Counter deltas over this run (the supervisor's counters are
+		// lifetime-global; a pool is often shared across runs).
+		after := sup.Snapshot()
+		rep.Redispatched = after.Redispatched - before.Redispatched
+		rep.TimedOut = after.TimedOut - before.TimedOut
+		rep.BreakerOpens = after.BreakerOpens - before.BreakerOpens
+		rep.Quarantined = after.Quarantined
+	}
 
 	container, concat := assembleContainer(format.CodecCULZSSV1, opts.Config, chunkSize, data, allStreams)
 	rep.HostTime += concat

@@ -65,7 +65,22 @@ func CompressV1Streamed(data []byte, opts Options, streams int) ([]byte, *Report
 			hi = len(data)
 		}
 		slice := data[lo:hi]
-		cont, rep, err := CompressV1(slice, opts)
+		var (
+			cont     []byte
+			rep      *Report
+			degraded bool
+			err      error
+		)
+		if opts.Health != nil {
+			// Supervised: the slice rides the device pool (redispatch on
+			// failure, CPU degrade when the pool is out) so one sick
+			// device cannot stall the stream.
+			var res dispatchResult
+			res, err = dispatchV1(opts.Health, slice, opts, -1, fmt.Sprintf("stream %d", s))
+			cont, rep, degraded = res.Container, res.Report, res.Degraded
+		} else {
+			cont, rep, err = CompressV1(slice, opts)
+		}
 		if err != nil {
 			return nil, nil, fmt.Errorf("gpu: stream %d: %w", s, err)
 		}
@@ -78,6 +93,11 @@ func CompressV1Streamed(data []byte, opts Options, streams int) ([]byte, *Report
 		payload := cont[off:]
 		for _, b := range h.ChunkBounds() {
 			allStreams = append(allStreams, payload[b.CompOff:b.CompOff+b.CompLen])
+		}
+		if degraded {
+			// A CPU-encoded slice contributes no pipeline stage and no
+			// launch counters; the bytes are identical regardless.
+			continue
 		}
 		// Saturated slice kernel times: wave-granularity artifacts of
 		// slicing (16 blocks over 15 SMs leaving one SM double-loaded)
@@ -94,6 +114,11 @@ func CompressV1Streamed(data []byte, opts Options, streams int) ([]byte, *Report
 	}
 
 	container, concat := assembleContainer(format.CodecCULZSSV1, opts.Config, chunkSize, data, allStreams)
+	if launch == nil {
+		// Every slice degraded to the CPU: synthesize an empty launch so
+		// the report shape stays uniform.
+		launch = &cudasim.LaunchReport{Kernel: "culzss_v1 (degraded)"}
+	}
 	pipelined := cudasim.PipelineSchedule(stages)
 	// Fold the whole pipelined span into KernelTime so SimulatedTotal
 	// (which would re-add transfer terms) sees zero separate transfers.

@@ -131,6 +131,7 @@ func CompressV2GPUPost(data []byte, opts Options) ([]byte, *Report, error) {
 		SharedPerBlock:  sharedPerBlock,
 		Serialization:   SerializationV2,
 		HostWorkers:     opts.HostWorkers,
+		Context:         opts.Context,
 	}, func(b *cudasim.BlockCtx) {
 		if b.Index >= nChunks {
 			return

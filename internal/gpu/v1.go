@@ -61,6 +61,7 @@ func CompressV1(data []byte, opts Options) ([]byte, *Report, error) {
 		SharedPerBlock:  sharedPerBlock,
 		Serialization:   SerializationV1,
 		HostWorkers:     opts.HostWorkers,
+		Context:         opts.Context,
 	}, func(b *cudasim.BlockCtx) {
 		if sharedPerBlock > 0 {
 			_ = b.Shared(sharedPerBlock) // window+lookahead residency check

@@ -1,0 +1,315 @@
+package health
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced clock for quarantine timing tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testPolicy(clk *fakeClock) Policy {
+	return Policy{Window: 8, Threshold: 2, OpenFor: 100 * time.Millisecond, Clock: clk.now}
+}
+
+// --- breaker state machine ---------------------------------------------
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := newFakeClock()
+	s := NewPool(nil, 1, testPolicy(clk))
+	if got := s.State(0); got != Closed {
+		t.Fatalf("fresh breaker: state %v, want closed", got)
+	}
+	s.ReportFailure(0, "boom")
+	if got := s.State(0); got != Closed {
+		t.Fatalf("one failure under threshold 2: state %v, want closed", got)
+	}
+	s.ReportFailure(0, "boom")
+	if got := s.State(0); got != Open {
+		t.Fatalf("threshold failures: state %v, want open", got)
+	}
+	ev := s.Events()
+	if len(ev) != 1 || ev[0].From != Closed || ev[0].To != Open {
+		t.Fatalf("logbook: %v, want one closed->open entry", ev)
+	}
+}
+
+func TestSuccessesKeepBreakerClosed(t *testing.T) {
+	clk := newFakeClock()
+	s := NewPool(nil, 1, Policy{Window: 4, Threshold: 3, Clock: clk.now})
+	// Failures interleaved with successes so the sliding window never
+	// holds 3 failures at once.
+	for i := 0; i < 20; i++ {
+		s.ReportFailure(0, "flaky")
+		s.ReportSuccess(0)
+		s.ReportSuccess(0)
+	}
+	if got := s.State(0); got != Closed {
+		t.Fatalf("interleaved outcomes: state %v, want closed", got)
+	}
+	// Now a burst inside one window trips it.
+	s.ReportFailure(0, "burst")
+	s.ReportFailure(0, "burst")
+	s.ReportFailure(0, "burst")
+	if got := s.State(0); got != Open {
+		t.Fatalf("burst: state %v, want open", got)
+	}
+}
+
+func TestQuarantineThenReprobeCloses(t *testing.T) {
+	clk := newFakeClock()
+	s := NewPool(nil, 1, testPolicy(clk))
+	s.ReportFailure(0, "x")
+	s.ReportFailure(0, "x")
+	if got := s.State(0); got != Open {
+		t.Fatalf("state %v, want open", got)
+	}
+	// During quarantine the device is not acquirable.
+	if _, ok := s.Acquire(0, nil); ok {
+		t.Fatal("acquired a quarantined device")
+	}
+	clk.advance(99 * time.Millisecond)
+	if got := s.State(0); got != Open {
+		t.Fatalf("before quarantine elapses: state %v, want open", got)
+	}
+	clk.advance(2 * time.Millisecond)
+	if got := s.State(0); got != HalfOpen {
+		t.Fatalf("after quarantine: state %v, want half-open", got)
+	}
+	// Half-open admits exactly one probe at a time.
+	id, ok := s.Acquire(0, nil)
+	if !ok || id != 0 {
+		t.Fatalf("probe acquire: id=%d ok=%v", id, ok)
+	}
+	if _, ok := s.Acquire(0, nil); ok {
+		t.Fatal("second concurrent probe admitted")
+	}
+	s.ReportSuccess(0)
+	if got := s.State(0); got != Closed {
+		t.Fatalf("after probe success: state %v, want closed", got)
+	}
+	// Full cycle in the logbook: open -> half-open -> closed.
+	ev := s.Events()
+	if len(ev) != 3 || ev[1].To != HalfOpen || ev[2].To != Closed {
+		t.Fatalf("logbook: %v", ev)
+	}
+}
+
+func TestProbeFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	s := NewPool(nil, 1, testPolicy(clk))
+	s.ReportFailure(0, "x")
+	s.ReportFailure(0, "x")
+	clk.advance(150 * time.Millisecond)
+	if _, ok := s.Acquire(0, nil); !ok {
+		t.Fatal("half-open probe not admitted")
+	}
+	s.ReportFailure(0, "still dead")
+	if got := s.State(0); got != Open {
+		t.Fatalf("after probe failure: state %v, want open again", got)
+	}
+	// The next quarantine period starts from the re-open.
+	clk.advance(99 * time.Millisecond)
+	if got := s.State(0); got != Open {
+		t.Fatalf("fresh quarantine: state %v, want open", got)
+	}
+	clk.advance(2 * time.Millisecond)
+	if got := s.State(0); got != HalfOpen {
+		t.Fatalf("second quarantine elapsed: state %v, want half-open", got)
+	}
+}
+
+func TestHalfOpenNeedsConfiguredProbes(t *testing.T) {
+	clk := newFakeClock()
+	pol := testPolicy(clk)
+	pol.HalfOpenProbes = 2
+	s := NewPool(nil, 1, pol)
+	s.ReportFailure(0, "x")
+	s.ReportFailure(0, "x")
+	clk.advance(150 * time.Millisecond)
+	s.Acquire(0, nil)
+	s.ReportSuccess(0)
+	if got := s.State(0); got != HalfOpen {
+		t.Fatalf("one of two probes: state %v, want half-open", got)
+	}
+	s.Acquire(0, nil)
+	s.ReportSuccess(0)
+	if got := s.State(0); got != Closed {
+		t.Fatalf("two probes: state %v, want closed", got)
+	}
+}
+
+// --- acquire / pool routing --------------------------------------------
+
+func TestAcquireSkipsOpenAndExcluded(t *testing.T) {
+	clk := newFakeClock()
+	pol := testPolicy(clk)
+	pol.Threshold = 1
+	s := NewPool(nil, 3, pol)
+	s.ReportFailure(0, "dead")
+	if got := s.State(0); got != Open {
+		t.Fatalf("state %v, want open", got)
+	}
+	id, ok := s.Acquire(0, nil)
+	if !ok || id == 0 {
+		t.Fatalf("acquire preferring quarantined slot: id=%d ok=%v, want a sibling", id, ok)
+	}
+	id, ok = s.Acquire(0, map[int]bool{1: true})
+	if !ok || id != 2 {
+		t.Fatalf("acquire excluding 1: id=%d ok=%v, want 2", id, ok)
+	}
+	if _, ok := s.Acquire(-1, map[int]bool{1: true, 2: true}); ok {
+		t.Fatal("acquired with whole pool quarantined or excluded")
+	}
+}
+
+func TestAcquireRoundRobinSpreadsLoad(t *testing.T) {
+	clk := newFakeClock()
+	s := NewPool(nil, 3, testPolicy(clk))
+	seen := map[int]int{}
+	for i := 0; i < 9; i++ {
+		id, ok := s.Acquire(-1, nil)
+		if !ok {
+			t.Fatal("healthy pool refused acquire")
+		}
+		seen[id]++
+		s.ReportSuccess(id)
+	}
+	for id := 0; id < 3; id++ {
+		if seen[id] != 3 {
+			t.Fatalf("round-robin skew: %v", seen)
+		}
+	}
+}
+
+// --- watchdog -----------------------------------------------------------
+
+func TestRunWatchdogCutsHungOperation(t *testing.T) {
+	s := NewPool(nil, 1, Policy{Threshold: 1, Deadline: 30 * time.Millisecond, OpenFor: time.Hour})
+	start := time.Now()
+	err := s.Run(context.Background(), 0, "launch", func(ctx context.Context) error {
+		<-ctx.Done() // a cooperative hang: blocks until the watchdog cuts it
+		return ctx.Err()
+	})
+	elapsed := time.Since(start)
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *TimeoutError", err)
+	}
+	if te.Op != "launch" || te.Device != 0 {
+		t.Fatalf("timeout identity: %+v", te)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("TimeoutError must match errors.Is(_, context.DeadlineExceeded)")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("watchdog took %v; the hang leaked past the deadline", elapsed)
+	}
+	if got := s.State(0); got != Open {
+		t.Fatalf("after watchdog cut at threshold 1: state %v, want open", got)
+	}
+	snap := s.Snapshot()
+	if snap.TimedOut != 1 || snap.Failures != 1 {
+		t.Fatalf("counters: %+v, want TimedOut=1 Failures=1", snap)
+	}
+}
+
+func TestRunCallerCancelNotChargedToDevice(t *testing.T) {
+	s := NewPool(nil, 1, Policy{Threshold: 1, Deadline: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := s.Run(ctx, 0, "op", func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	snap := s.Snapshot()
+	if snap.Failures != 0 || snap.TimedOut != 0 {
+		t.Fatalf("caller cancellation charged the breaker: %+v", snap)
+	}
+	if got := s.State(0); got != Closed {
+		t.Fatalf("state %v, want closed", got)
+	}
+}
+
+func TestRunRecordsOutcomes(t *testing.T) {
+	s := NewPool(nil, 1, Policy{Threshold: 5})
+	if err := s.Run(nil, 0, "ok", func(context.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("kernel fault")
+	if err := s.Run(nil, 0, "bad", func(context.Context) error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	snap := s.Snapshot()
+	if snap.Successes != 1 || snap.Failures != 1 {
+		t.Fatalf("counters: %+v", snap)
+	}
+}
+
+// --- snapshot / nil safety ---------------------------------------------
+
+func TestSnapshotCountsPool(t *testing.T) {
+	clk := newFakeClock()
+	pol := testPolicy(clk)
+	pol.Threshold = 1
+	s := NewPool(nil, 3, pol)
+	s.ReportFailure(1, "dead")
+	s.NoteRedispatch()
+	snap := s.Snapshot()
+	if snap.Devices != 3 || snap.Healthy != 2 || snap.Quarantined != 1 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	if snap.Redispatched != 1 || snap.BreakerOpens != 1 {
+		t.Fatalf("counters: %+v", snap)
+	}
+	if len(snap.States) != 3 || snap.States[1] != Open {
+		t.Fatalf("states: %v", snap.States)
+	}
+}
+
+func TestNilSupervisorIsInert(t *testing.T) {
+	var s *Supervisor
+	if s.Devices() != 0 {
+		t.Fatal("nil supervisor has devices")
+	}
+	if snap := s.Snapshot(); snap.Devices != 0 {
+		t.Fatalf("nil snapshot: %+v", snap)
+	}
+	if ev := s.Events(); ev != nil {
+		t.Fatalf("nil events: %v", ev)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for st, want := range map[State]string{Closed: "closed", Open: "open", HalfOpen: "half-open"} {
+		if st.String() != want {
+			t.Fatalf("State(%d).String() = %q, want %q", int(st), st.String(), want)
+		}
+	}
+}

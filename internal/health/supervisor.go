@@ -1,0 +1,355 @@
+package health
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"culzss/internal/cudasim"
+)
+
+// Supervisor owns a pool of devices, one circuit breaker per device, the
+// watchdog, and the fleet counters. Construct with NewSupervisor; the
+// zero value is not usable (but a nil *Supervisor is inert in the gpu
+// layer, which treats "no supervisor" as "legacy fail-fast dispatch").
+type Supervisor struct {
+	pol Policy
+
+	mu     sync.Mutex
+	slots  []*slot
+	events []Event
+	rr     int // round-robin cursor for Acquire fairness
+
+	timedOut     int
+	opens        int
+	redispatched int
+	failures     int
+	successes    int
+}
+
+// slot is one device's breaker bookkeeping.
+type slot struct {
+	dev   *cudasim.Device
+	state State
+
+	// Sliding outcome window (true = failure), ring-buffered.
+	window []bool
+	wlen   int // samples recorded (saturates at len(window))
+	wpos   int
+	fails  int // failures currently inside the window
+
+	openedAt  time.Time
+	probing   bool // a half-open probe is in flight
+	probeWins int  // consecutive half-open successes so far
+}
+
+// NewSupervisor builds a supervisor over the given pool. An empty slice
+// yields a single default slot (one device, the dispatcher's default
+// preset) so callers can always count on Devices() >= 1.
+func NewSupervisor(slots []DeviceSlot, pol Policy) *Supervisor {
+	if len(slots) == 0 {
+		slots = []DeviceSlot{{}}
+	}
+	s := &Supervisor{pol: pol}
+	for _, ds := range slots {
+		s.slots = append(s.slots, &slot{
+			dev:    ds.Device,
+			window: make([]bool, pol.window()),
+		})
+	}
+	return s
+}
+
+// NewPool is shorthand for a homogeneous pool: n clones of base (nil base
+// means the dispatcher default on every slot).
+func NewPool(base *cudasim.Device, n int, pol Policy) *Supervisor {
+	if n < 1 {
+		n = 1
+	}
+	slots := make([]DeviceSlot, n)
+	for i := range slots {
+		if base != nil {
+			slots[i] = DeviceSlot{Device: base.Clone()}
+		}
+	}
+	return NewSupervisor(slots, pol)
+}
+
+// Devices returns the pool size.
+func (s *Supervisor) Devices() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.slots)
+}
+
+// Device returns slot id's device (nil when the slot uses the
+// dispatcher's default preset).
+func (s *Supervisor) Device(id int) *cudasim.Device {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.slots[id].dev
+}
+
+// Policy returns the supervisor's policy (defaults not yet applied).
+func (s *Supervisor) Policy() Policy { return s.pol }
+
+// State returns device id's current breaker state, applying the lazy
+// Open → HalfOpen transition if the quarantine period has elapsed.
+func (s *Supervisor) State(id int) State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ripenLocked(id)
+	return s.slots[id].state
+}
+
+// ripenLocked performs the clock-driven Open → HalfOpen transition.
+func (s *Supervisor) ripenLocked(id int) {
+	sl := s.slots[id]
+	if sl.state == Open && s.pol.now().Sub(sl.openedAt) >= s.pol.openFor() {
+		s.transitionLocked(id, HalfOpen, "quarantine elapsed")
+		sl.probing = false
+		sl.probeWins = 0
+	}
+}
+
+// transitionLocked records a state change in the logbook.
+func (s *Supervisor) transitionLocked(id int, to State, cause string) {
+	sl := s.slots[id]
+	if sl.state == to {
+		return
+	}
+	if to == Open {
+		s.opens++
+	}
+	s.events = append(s.events, Event{At: s.pol.now(), Device: id, From: sl.state, To: to, Cause: cause})
+	if len(s.events) > logbookCap {
+		s.events = s.events[len(s.events)-logbookCap:]
+	}
+	sl.state = to
+}
+
+// Acquire picks a healthy device, preferring id == prefer (use the shard
+// or segment's "home" device for locality, or -1 for round-robin). A
+// Closed device is always eligible; a HalfOpen device admits one probe at
+// a time; Open devices are skipped. exclude lists devices the caller has
+// already failed on for this piece of work. ok is false when the whole
+// pool is quarantined or excluded.
+func (s *Supervisor) Acquire(prefer int, exclude map[int]bool) (id int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.slots)
+	start := prefer
+	if start < 0 || start >= n {
+		start = s.rr % n
+		s.rr++
+	}
+	for off := 0; off < n; off++ {
+		id := (start + off) % n
+		if exclude[id] {
+			continue
+		}
+		s.ripenLocked(id)
+		sl := s.slots[id]
+		switch sl.state {
+		case Closed:
+			return id, true
+		case HalfOpen:
+			if !sl.probing {
+				sl.probing = true
+				return id, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// ReportSuccess records a successful operation on device id.
+func (s *Supervisor) ReportSuccess(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.successes++
+	s.recordLocked(id, false, "")
+}
+
+// ReportFailure records a failed operation on device id; cause feeds the
+// logbook when the failure trips the breaker.
+func (s *Supervisor) ReportFailure(id int, cause string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failures++
+	s.recordLocked(id, true, cause)
+}
+
+// recordLocked pushes one outcome through device id's breaker.
+func (s *Supervisor) recordLocked(id int, fail bool, cause string) {
+	sl := s.slots[id]
+	s.ripenLocked(id)
+
+	if sl.state == HalfOpen {
+		sl.probing = false
+		if fail {
+			s.reopenLocked(id, "probe failure: "+cause)
+			return
+		}
+		sl.probeWins++
+		if sl.probeWins >= s.pol.halfOpenProbes() {
+			s.transitionLocked(id, Closed, "probe success")
+			s.resetWindowLocked(id)
+		}
+		return
+	}
+
+	// Closed (or, rarely, Open when a straggler reports during
+	// quarantine — still count the outcome; it cannot close the breaker).
+	if sl.wlen == len(sl.window) {
+		if sl.window[sl.wpos] {
+			sl.fails--
+		}
+	} else {
+		sl.wlen++
+	}
+	sl.window[sl.wpos] = fail
+	if fail {
+		sl.fails++
+	}
+	sl.wpos = (sl.wpos + 1) % len(sl.window)
+
+	if sl.state == Closed && fail && sl.fails >= s.pol.threshold() {
+		s.reopenLocked(id, "failure threshold: "+cause)
+	}
+}
+
+// reopenLocked quarantines device id.
+func (s *Supervisor) reopenLocked(id int, cause string) {
+	sl := s.slots[id]
+	s.transitionLocked(id, Open, cause)
+	sl.openedAt = s.pol.now()
+	sl.probing = false
+	sl.probeWins = 0
+	s.resetWindowLocked(id)
+}
+
+// resetWindowLocked clears the outcome window (a state change starts a
+// fresh observation period).
+func (s *Supervisor) resetWindowLocked(id int) {
+	sl := s.slots[id]
+	for i := range sl.window {
+		sl.window[i] = false
+	}
+	sl.wlen, sl.wpos, sl.fails = 0, 0, 0
+}
+
+// NoteRedispatch counts one piece of work re-routed to a sibling device
+// after a failure (called by the dispatch layers).
+func (s *Supervisor) NoteRedispatch() {
+	s.mu.Lock()
+	s.redispatched++
+	s.mu.Unlock()
+}
+
+// Run executes a guarded operation on device id under the watchdog and
+// records the outcome on the device's breaker.
+//
+// f receives a context bounded by Policy.Deadline (when set) and chained
+// to ctx; Run waits for f or the deadline, whichever first. On deadline
+// the operation is *abandoned* — Run returns a typed *TimeoutError
+// immediately and f's goroutine is left to notice its cancelled context
+// (the cudasim launch hook and the chunk loops are cancellation points,
+// so a simulated hang unblocks promptly; a truly unresponsive op costs
+// an abandoned goroutine, never a wedged dispatcher). A caller-cancelled
+// ctx returns ctx's error without charging the device's breaker: the
+// caller gave up, the device did not fail.
+//
+// f must write results only to storage the caller reads after Run
+// returns nil; an abandoned attempt's writes must stay attempt-local.
+func (s *Supervisor) Run(ctx context.Context, id int, op string, f func(context.Context) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runCtx := ctx
+	cancel := func() {}
+	if d := s.pol.Deadline; d > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, d)
+	}
+	defer cancel()
+
+	done := make(chan error, 1)
+	go func() { done <- f(runCtx) }()
+
+	var err error
+	select {
+	case err = <-done:
+	case <-runCtx.Done():
+		if ctx.Err() != nil {
+			return ctx.Err() // the caller cancelled; not the device's fault
+		}
+		return s.timeoutLocked(id, op)
+	}
+	if err == nil {
+		s.ReportSuccess(id)
+		return nil
+	}
+	if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+		return err // caller cancellation surfaced through f
+	}
+	if runCtx.Err() == context.DeadlineExceeded && errors.Is(err, context.DeadlineExceeded) {
+		// The deadline fired and f noticed before our select did —
+		// classify as the same watchdog timeout.
+		return s.timeoutLocked(id, op)
+	}
+	s.ReportFailure(id, err.Error())
+	return err
+}
+
+// timeoutLocked records a watchdog cut and returns the typed error.
+func (s *Supervisor) timeoutLocked(id int, op string) error {
+	s.mu.Lock()
+	s.timedOut++
+	s.failures++
+	s.recordLocked(id, true, "watchdog timeout")
+	s.mu.Unlock()
+	return &TimeoutError{Op: op, Device: id, Deadline: s.pol.Deadline}
+}
+
+// Snapshot returns the pool's current states and lifetime counters.
+func (s *Supervisor) Snapshot() Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := Snapshot{
+		Devices:      len(s.slots),
+		States:       make([]State, len(s.slots)),
+		TimedOut:     s.timedOut,
+		BreakerOpens: s.opens,
+		Redispatched: s.redispatched,
+		Failures:     s.failures,
+		Successes:    s.successes,
+	}
+	for i := range s.slots {
+		s.ripenLocked(i)
+		snap.States[i] = s.slots[i].state
+		if s.slots[i].state == Open {
+			snap.Quarantined++
+		} else {
+			snap.Healthy++
+		}
+	}
+	return snap
+}
+
+// Events returns a copy of the logbook (breaker transitions, oldest
+// first; capped at logbookCap entries).
+func (s *Supervisor) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}

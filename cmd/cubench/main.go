@@ -9,12 +9,22 @@
 //	cubench -figure 4                          only Figure 4
 //	cubench -ablation shared,tpb,window        selected ablations
 //	cubench -serial-search hashchain           fast serial baseline (§VII)
+//	cubench -json > BENCH_6.json               machine-readable bench report
+//	cubench -json -against BENCH_6.json        fail on >25% throughput regression
 //
 // CPU rows are wall-clock on this host; CULZSS rows are the cudasim
 // GTX 480 model's simulated end-to-end times. Each GPU cell also reports
 // the saturated-device time when the grid under-fills the simulated GPU
 // (inputs below ~32 MiB do for V1). See EXPERIMENTS.md for the comparison
 // against the paper's 128 MB numbers.
+//
+// -json switches to the bench-regression mode: the compression grid runs
+// on the deterministic Modeled timing basis (operation counters at a
+// fixed modeled clock — identical numbers on any host) and is emitted as
+// JSON {dataset, system, ns_per_op, sim_ms, ratio_pct}. With -against,
+// the run is additionally compared to a committed baseline report and
+// the command exits non-zero when any cell's time regressed by more than
+// -tolerance. CI's bench-smoke job gates on exactly this.
 package main
 
 import (
@@ -51,6 +61,9 @@ func run(args []string, out io.Writer) error {
 		serialSearch = fs.String("serial-search", "brute", "serial baseline matcher: brute (paper) or hashchain (§VII)")
 		quiet        = fs.Bool("q", false, "suppress per-cell progress on stderr")
 		asCSV        = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		asJSON       = fs.Bool("json", false, "emit a bench-regression JSON report (modeled timing basis) instead of tables")
+		against      = fs.String("against", "", "baseline bench JSON to compare -json run against; exits non-zero on regression")
+		tolerance    = fs.Float64("tolerance", 0.25, "relative time regression -against tolerates per cell")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +83,10 @@ func run(args []string, out io.Writer) error {
 	}
 	if !*quiet {
 		cfg.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	}
+
+	if *asJSON || *against != "" {
+		return runBench(cfg, *serialSearch, *against, *tolerance, out)
 	}
 
 	wantAll := *tables == "" && *figures == "" && *ablations == ""
@@ -153,5 +170,49 @@ func run(args []string, out io.Writer) error {
 	if !*asCSV {
 		fmt.Fprintf(out, "completed in %v\n", time.Since(start).Round(time.Second))
 	}
+	return nil
+}
+
+// runBench is the -json / -against mode: the compression grid on the
+// deterministic Modeled basis, emitted as a JSON report and optionally
+// gated against a committed baseline.
+func runBench(cfg harness.Config, searchName, against string, tolerance float64, out io.Writer) error {
+	cfg.Modeled = true
+	cfg = cfg.Filled()
+	m, err := harness.RunCompression(cfg)
+	if err != nil {
+		return err
+	}
+	rep := harness.BenchFromMatrix(m, harness.BenchConfig{
+		Size:         cfg.Size,
+		Reps:         cfg.Reps,
+		Seed:         cfg.Seed,
+		SerialSearch: strings.ToLower(searchName),
+		Saturated:    cfg.Saturated,
+		Modeled:      true,
+	})
+	if err := rep.WriteJSON(out); err != nil {
+		return err
+	}
+	if against == "" {
+		return nil
+	}
+	f, err := os.Open(against)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	base, err := harness.ReadBenchReport(f)
+	if err != nil {
+		return err
+	}
+	if regs := rep.Compare(base, tolerance); len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "cubench: REGRESSION:", r)
+		}
+		return fmt.Errorf("%d cell(s) regressed beyond %.0f%% vs %s", len(regs), tolerance*100, against)
+	}
+	fmt.Fprintf(os.Stderr, "cubench: no regression vs %s (%d cells, tolerance %.0f%%)\n",
+		against, len(base.Cells), tolerance*100)
 	return nil
 }

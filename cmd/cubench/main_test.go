@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"culzss/internal/harness"
 )
 
 func TestFullRunSmall(t *testing.T) {
@@ -58,6 +62,52 @@ func TestBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-serial-search", "quantum"}, &out); err == nil {
 		t.Error("accepted bad matcher")
+	}
+}
+
+func TestJSONBenchAndAgainst(t *testing.T) {
+	// -json emits a parseable modeled report...
+	var out bytes.Buffer
+	args := []string{"-size", "64KiB", "-reps", "1", "-q", "-serial-search", "hashchain", "-json"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := harness.ReadBenchReport(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if !rep.Config.Modeled || rep.Config.Size != 64<<10 {
+		t.Fatalf("report config wrong: %+v", rep.Config)
+	}
+	if len(rep.Cells) != 25 {
+		t.Fatalf("report has %d cells, want the 5x5 grid", len(rep.Cells))
+	}
+
+	// ...and -against that same report passes (the modeled basis makes
+	// the rerun identical, well inside any tolerance).
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(baseline, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var rerun bytes.Buffer
+	if err := run(append(args, "-against", baseline), &rerun); err != nil {
+		t.Fatalf("self-comparison regressed: %v", err)
+	}
+
+	// A baseline claiming far faster times must fail the gate.
+	for i := range rep.Cells {
+		rep.Cells[i].NsPerOp /= 10
+	}
+	var fast bytes.Buffer
+	if err := rep.WriteJSON(&fast); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, fast.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rerun.Reset()
+	if err := run(append(args, "-against", baseline), &rerun); err == nil {
+		t.Fatal("10x regression passed the -against gate")
 	}
 }
 

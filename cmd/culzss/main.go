@@ -37,6 +37,11 @@
 // implies -degrade). With -stats, the supervisor's counters and breaker
 // logbook are printed to stderr.
 //
+// -metrics arms the observability registry (internal/obs) for the run and
+// dumps every series in the Prometheus text exposition format to stderr
+// when the tool exits — the same families README.md's "Observability"
+// section documents and examples/gateway serves at /metrics.
+//
 // Exit codes distinguish failure classes so scripts can react: 0 success,
 // 1 generic failure, 2 corrupt input (bad checksums, damaged records,
 // wrong magic), 3 truncated input (the stream ends mid-record or without
@@ -57,6 +62,7 @@ import (
 	"culzss/internal/format"
 	"culzss/internal/health"
 	"culzss/internal/lzss"
+	"culzss/internal/obs"
 	"culzss/internal/stats"
 )
 
@@ -113,6 +119,7 @@ func run(args []string) error {
 		salvage    = fs.Bool("salvage", false, "with -d: best-effort decode of a damaged framed stream, skipping damaged segments")
 		gpuTimeout = fs.Duration("gpu-timeout", 0, "watchdog deadline per GPU dispatch; a hung kernel is cut and the work degrades to the CPU encoder (implies -degrade)")
 		degrade    = fs.Bool("degrade", false, "supervise the GPU path: launch failures quarantine the device and the work degrades to the byte-identical CPU encoder instead of failing")
+		metricsOut = fs.Bool("metrics", false, "dump the run's metrics (Prometheus text format) to stderr when done")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -146,12 +153,23 @@ func run(args []string) error {
 	if *gpuTimeout < 0 {
 		return fmt.Errorf("-gpu-timeout must be >= 0, got %v", *gpuTimeout)
 	}
+	if *metricsOut {
+		// Arm the observability registry and dump it on the way out —
+		// success or failure, the counters describe what happened.
+		params.Obs = obs.NewRegistry()
+		defer func() {
+			fmt.Fprintln(os.Stderr, "# culzss run metrics")
+			if err := params.Obs.WritePrometheus(os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, "culzss: writing metrics:", err)
+			}
+		}()
+	}
 	if *degrade || *gpuTimeout > 0 {
 		// Arm the device-health supervisor: per-device circuit breakers,
 		// the hung-kernel watchdog (when -gpu-timeout is set), and the
 		// byte-identical CPU degrade when the pool is exhausted. The CPU
 		// versions ignore the supervisor, so arming it is always safe.
-		params.Health = health.NewPool(nil, 1, health.Policy{Deadline: *gpuTimeout})
+		params.Health = health.NewPool(nil, 1, health.Policy{Deadline: *gpuTimeout, Obs: params.Obs})
 	}
 
 	if *info {

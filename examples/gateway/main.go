@@ -29,19 +29,33 @@
 // stream in salvage mode, so a damaged hop would cost only the damaged
 // segments, not the connection.
 //
+// The gateway also exposes the observability layer a production
+// deployment would scrape: an HTTP debug server (default on an ephemeral
+// loopback port, -debug-addr to pin it) serving Prometheus-style metrics
+// at /metrics and the standard pprof handlers under /debug/pprof/. After
+// the transfer the example scrapes its own /metrics and verifies the
+// exported counters reconcile exactly with Writer.Stats(). Pass -hold to
+// keep the server up afterwards for manual scraping / profiling.
+//
 // Run with:
 //
 //	go run ./examples/gateway
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"culzss/internal/core"
@@ -49,6 +63,7 @@ import (
 	"culzss/internal/datasets"
 	"culzss/internal/format"
 	"culzss/internal/health"
+	"culzss/internal/obs"
 	"culzss/internal/stats"
 )
 
@@ -67,7 +82,17 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 }
 
 func main() {
+	debugAddr := flag.String("debug-addr", "127.0.0.1:0", "address for the /metrics + pprof debug server")
+	hold := flag.Duration("hold", 0, "keep the debug server up this long after the transfer (0 = exit immediately)")
+	flag.Parse()
+
 	payload := datasets.KernelTarball(4<<20, 7) // "a file transfer"
+
+	// The observability registry: both gateways, the device pool, and the
+	// supervisor all report into it, and the debug server exposes it.
+	reg := obs.NewRegistry()
+	metricsURL := serveDebug(*debugAddr, reg)
+	fmt.Printf("debug server: %s (and /debug/pprof/)\n", metricsURL)
 
 	egressIn := listen()   // compressed hop
 	consumerIn := listen() // plain delivery
@@ -96,7 +121,7 @@ func main() {
 		defer in.Close()
 		out := dial(consumerIn)
 		defer out.Close()
-		r, err := core.NewReaderOptions(in, core.Params{}, core.ReaderOptions{
+		r, err := core.NewReaderOptions(in, core.Params{Obs: reg}, core.ReaderOptions{
 			Salvage: true,
 			OnCorrupt: func(cse *format.CorruptSegmentError) {
 				log.Print("egress: salvage skipped damaged region: ", cse)
@@ -125,7 +150,7 @@ func main() {
 	sup := health.NewSupervisor([]health.DeviceSlot{
 		{Device: dead},
 		{Device: cudasim.FermiGTX480()},
-	}, health.Policy{Threshold: 1, OpenFor: time.Hour, Deadline: 5 * time.Second})
+	}, health.Policy{Threshold: 1, OpenFor: time.Hour, Deadline: 5 * time.Second, Obs: reg})
 
 	degraded := make(chan core.WriterStats, 1)
 	go func() {
@@ -137,6 +162,7 @@ func main() {
 		params := core.Params{
 			Version: core.Version1,
 			Health:  sup,
+			Obs:     reg,
 		}
 		w := core.NewWriterOptions(cw, params, core.StreamOptions{
 			SegmentSize: segmentSize,
@@ -178,6 +204,93 @@ func main() {
 		stats.FormatBytes(hopBytes),
 		stats.RatioPercent(int(hopBytes), len(payload)),
 		stats.FormatBytes(int64(len(payload))-hopBytes))
+
+	// Scrape our own /metrics and verify the exported counters reconcile
+	// exactly with the Writer's view of the same run — the check a
+	// monitoring stack implicitly depends on.
+	scraped := scrape(metricsURL)
+	checks := []struct {
+		series string
+		want   int
+	}{
+		{"culzss_writer_segments_total", ws.Segments},
+		{"culzss_writer_retries_total", ws.Retries},
+		{"culzss_writer_degraded_total", ws.Degraded},
+		{"culzss_health_watchdog_timeouts_total", ws.TimedOut},
+		{"culzss_health_redispatches_total", ws.Redispatched},
+		{"culzss_health_breaker_opens_total", ws.BreakerOpens},
+		{"culzss_health_quarantined_devices", ws.Quarantined},
+	}
+	ok := true
+	for _, c := range checks {
+		got, found := scraped[c.series]
+		if !found || got != int64(c.want) {
+			ok = false
+			log.Printf("metrics mismatch: %s = %d, Writer.Stats says %d", c.series, got, c.want)
+		}
+	}
+	if !ok {
+		log.Fatal("scraped /metrics do not reconcile with Writer.Stats()")
+	}
+	fmt.Printf("scraped /metrics reconcile with Writer.Stats(): %d series checked, all exact\n", len(checks))
+	if *hold > 0 {
+		fmt.Printf("holding debug server for %v — scrape %s\n", *hold, metricsURL)
+		time.Sleep(*hold)
+	}
+}
+
+// serveDebug starts the /metrics + pprof server and returns the metrics
+// URL.
+func serveDebug(addr string, reg *obs.Registry) string {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal("debug listener:", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.Serve(l, mux); err != nil {
+			log.Print("debug server:", err)
+		}
+	}()
+	return fmt.Sprintf("http://%s/metrics", l.Addr())
+}
+
+// scrape GETs a Prometheus text exposition and returns every
+// integer-valued, label-free series (the counters and gauges the
+// reconciliation check needs).
+func scrape(url string) map[string]int64 {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal("scrape:", err)
+	}
+	defer resp.Body.Close()
+	out := make(map[string]int64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok || strings.Contains(name, "{") {
+			continue
+		}
+		v, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			continue
+		}
+		out[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal("scrape read:", err)
+	}
+	return out
 }
 
 func listen() net.Listener {

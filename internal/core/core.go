@@ -26,6 +26,7 @@ import (
 	"culzss/internal/gpu"
 	"culzss/internal/health"
 	"culzss/internal/lzss"
+	"culzss/internal/obs"
 )
 
 // Version selects which implementation compresses the data, mirroring the
@@ -109,6 +110,13 @@ type Params struct {
 	// supervisor's counters through Stats. Nil keeps the legacy
 	// single-device fail-fast dispatch.
 	Health *health.Supervisor
+	// Obs, when non-nil, mirrors the run into the observability layer
+	// (internal/obs): the GPU paths report launch counters and stage
+	// timings, the streaming Writer/Reader report segment counters and
+	// lifecycle spans, and the health supervisor's counters appear when
+	// its Policy carries the same registry. Nil is inert — production
+	// paths that never arm it pay a pointer test.
+	Obs *obs.Registry
 }
 
 // Info describes the detected (simulated) device, the paper's
@@ -216,6 +224,7 @@ func CompressWithReport(data []byte, p Params) ([]byte, *gpu.Report, error) {
 			Stats:           p.Stats,
 			Injector:        p.Injector,
 			Health:          p.Health,
+			Obs:             p.Obs,
 		}
 		if v == Version1 {
 			// With a supervisor, the one-shot call rides the device pool
@@ -267,7 +276,7 @@ func DecompressWithReport(container []byte, p Params) ([]byte, *gpu.Report, erro
 	case format.CodecCULZSSV1, format.CodecCULZSSV2:
 		return gpu.Decompress(container, gpu.Options{
 			Device: p.Device, ThreadsPerBlock: p.ThreadsPerBlock, HostWorkers: p.HostWorkers,
-			Injector: p.Injector,
+			Injector: p.Injector, Obs: p.Obs,
 		})
 	case format.CodecSerialBitPacked, format.CodecChunkedBitPacked:
 		out, err := cpulzss.Decompress(container, p.HostWorkers)

@@ -32,7 +32,65 @@ import (
 	"culzss/internal/gpu"
 	"culzss/internal/health"
 	"culzss/internal/lzss"
+	"culzss/internal/obs"
 )
+
+// writerMetrics holds the Writer's pre-resolved instruments. With
+// Params.Obs nil every field is nil and every call inert, so the
+// disabled Writer pays nothing beyond nil tests. Counters increment in
+// the emitter, the same single site that updates WriterStats, so a fresh
+// registry's totals reconcile with Stats() exactly.
+type writerMetrics struct {
+	segments *obs.Counter
+	retries  *obs.Counter
+	degraded *obs.Counter
+	errors   *obs.Counter
+	bytesIn  *obs.Counter
+	bytesOut *obs.Counter
+	tracer   *obs.Tracer
+}
+
+func newWriterMetrics(reg *obs.Registry) writerMetrics {
+	if reg == nil {
+		return writerMetrics{}
+	}
+	reg.SetHelp("culzss_writer_segments_total", "Segments the Writer pipeline emitted (including failed ones).")
+	reg.SetHelp("culzss_writer_retries_total", "Extra GPU attempts beyond each segment's first.")
+	reg.SetHelp("culzss_writer_degraded_total", "Segments that fell back to the CPU encoder.")
+	reg.SetHelp("culzss_writer_errors_total", "Segments that failed the stream.")
+	reg.SetHelp("culzss_writer_bytes_in_total", "Plaintext bytes of emitted segments.")
+	reg.SetHelp("culzss_writer_bytes_out_total", "Framed compressed bytes written (segment frames only).")
+	return writerMetrics{
+		segments: reg.Counter("culzss_writer_segments_total"),
+		retries:  reg.Counter("culzss_writer_retries_total"),
+		degraded: reg.Counter("culzss_writer_degraded_total"),
+		errors:   reg.Counter("culzss_writer_errors_total"),
+		bytesIn:  reg.Counter("culzss_writer_bytes_in_total"),
+		bytesOut: reg.Counter("culzss_writer_bytes_out_total"),
+		tracer:   reg.Tracer(),
+	}
+}
+
+// readerMetrics is the Reader-side counterpart.
+type readerMetrics struct {
+	segments *obs.Counter
+	bytesOut *obs.Counter
+	corrupt  *obs.Counter
+}
+
+func newReaderMetrics(reg *obs.Registry) readerMetrics {
+	if reg == nil {
+		return readerMetrics{}
+	}
+	reg.SetHelp("culzss_reader_segments_total", "Framed segments decoded and served.")
+	reg.SetHelp("culzss_reader_bytes_out_total", "Plaintext bytes served from framed segments.")
+	reg.SetHelp("culzss_reader_corrupt_segments_total", "Damaged regions recorded in salvage mode.")
+	return readerMetrics{
+		segments: reg.Counter("culzss_reader_segments_total"),
+		bytesOut: reg.Counter("culzss_reader_bytes_out_total"),
+		corrupt:  reg.Counter("culzss_reader_corrupt_segments_total"),
+	}
+}
 
 // ErrClosed is returned by Writer.Write after Close.
 var ErrClosed = errors.New("core: writer is closed")
@@ -194,6 +252,9 @@ type Writer struct {
 	// Stats reports deltas against it (the pool is often shared).
 	healthBase health.Snapshot
 
+	met      writerMetrics
+	segStart time.Time // when the current partial segment began accumulating
+
 	started bool
 	closed  bool
 	buf     []byte // current partial segment; len < segSize
@@ -263,6 +324,7 @@ func NewWriterOptions(dst io.Writer, p Params, o StreamOptions) *Writer {
 		bound:   bound,
 		ctx:     ctx,
 		rng:     rand.New(rand.NewSource(seed)),
+		met:     newWriterMetrics(p.Obs),
 	}
 	if p.Health != nil {
 		w.healthBase = p.Health.Snapshot()
@@ -346,10 +408,26 @@ func (w *Writer) emitter() {
 			w.wstats.Degraded++
 		}
 		w.wstatsMu.Unlock()
+		// Mirror the same deltas into the registry at the same single
+		// site, so counters and Stats() reconcile exactly.
+		w.met.segments.Inc()
+		w.met.retries.Add(int64(res.retries))
+		if res.degraded {
+			w.met.degraded.Inc()
+		}
+		w.met.bytesIn.Add(int64(len(job.data)))
 		if res.err != nil {
+			w.met.errors.Inc()
 			w.setErr(fmt.Errorf("core: segment %d: %w", job.index, res.err))
 		} else if w.err() == nil {
-			if _, err := format.WriteSegmentFrame(w.dst, job.index, len(job.data), res.container); err != nil {
+			var sp *obs.ActiveSpan
+			if w.met.tracer != nil {
+				sp = w.met.tracer.Start(fmt.Sprintf("segment %d", job.index), "frame-emit")
+			}
+			n, err := format.WriteSegmentFrame(w.dst, job.index, len(job.data), res.container)
+			sp.End(err)
+			w.met.bytesOut.Add(int64(n))
+			if err != nil {
 				w.setErr(fmt.Errorf("core: writing segment frame %d: %w", job.index, err))
 			}
 		}
@@ -453,6 +531,7 @@ func (w *Writer) compressSegment(index int, data []byte) segResult {
 				Injector:        p.Injector,
 				Context:         segCtx,
 				Health:          p.Health,
+				Obs:             p.Obs,
 			}
 			if w.opts.GPUStreams > 1 {
 				// The slice scheduler consults opts.Health internally.
@@ -605,6 +684,7 @@ func (w *Writer) Write(data []byte) (int, error) {
 	for len(data) > 0 {
 		if w.buf == nil {
 			w.buf = w.bufPool.Get().([]byte)
+			w.segStart = time.Now()
 		}
 		n := w.segSize - len(w.buf)
 		if n > len(data) {
@@ -628,6 +708,15 @@ func (w *Writer) Write(data []byte) (int, error) {
 // pending blocks while HostWorkers segments are in flight — that
 // backpressure is the Writer's memory bound.
 func (w *Writer) flushSegment() error {
+	if w.met.tracer != nil {
+		// The "read" stage: wall time spent accumulating this segment's
+		// plaintext (includes the caller's own pacing — that is the
+		// point: a slow producer shows up here, not in compress stages).
+		w.met.tracer.Record(obs.Span{
+			Op: fmt.Sprintf("segment %d", w.index), Stage: "read", Device: -1,
+			Start: w.segStart, Duration: time.Since(w.segStart),
+		})
+	}
 	job := &segJob{index: w.index, data: w.buf, result: make(chan segResult, 1)}
 	w.index++
 	w.buf = nil
@@ -703,6 +792,7 @@ type Reader struct {
 	params Params
 	opts   ReaderOptions
 	ctx    context.Context
+	met    readerMetrics
 
 	// Legacy single-container mode.
 	legacy *bytes.Reader
@@ -764,7 +854,8 @@ func NewReaderOptions(src io.Reader, p Params, o ReaderOptions) (*Reader, error)
 		if ferr != nil {
 			return nil, ferr
 		}
-		return &Reader{params: p, opts: o, ctx: ctx, fr: fr}, nil
+		fr.Obs = p.Obs
+		return &Reader{params: p, opts: o, ctx: ctx, fr: fr, met: newReaderMetrics(p.Obs)}, nil
 	}
 	// Bare container (or too short / not ours — let Decompress produce
 	// the diagnostic).
@@ -824,6 +915,7 @@ func (r *Reader) Read(p []byte) (int, error) {
 
 // recordCorrupt appends one damaged region and fires the callback.
 func (r *Reader) recordCorrupt(cse *format.CorruptSegmentError) {
+	r.met.corrupt.Inc()
 	r.corrupt = append(r.corrupt, cse)
 	if r.opts.OnCorrupt != nil {
 		r.opts.OnCorrupt(cse)
@@ -897,6 +989,8 @@ func (r *Reader) nextSegment() error {
 		r.crc = format.Checksum32Update(r.crc, plain)
 		r.served += len(plain)
 		r.cur = plain
+		r.met.segments.Inc()
+		r.met.bytesOut.Add(int64(len(plain)))
 		return nil
 	}
 }

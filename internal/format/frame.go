@@ -42,6 +42,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"culzss/internal/obs"
 )
 
 // StreamMagic identifies a CULZSS framed stream. It deliberately shares
@@ -146,6 +148,11 @@ type FrameReader struct {
 	// SegmentSize is the advisory nominal segment size from the stream
 	// header.
 	SegmentSize int
+	// Obs, when non-nil, counts decoded records
+	// (culzss_frames_read_total{kind=...}) and — in salvage mode —
+	// resynchronisations and discarded bytes. Set it before the first
+	// Next call; nil is inert.
+	Obs *obs.Registry
 
 	nextIndex int
 	rawTotal  int
@@ -227,6 +234,8 @@ func (fr *FrameReader) Next() (*SegmentFrame, *StreamTrailer, error) {
 	if err != nil {
 		var cse *CorruptSegmentError
 		if errors.As(err, &cse) {
+			fr.Obs.Counter("culzss_frames_salvage_resyncs_total").Inc()
+			fr.Obs.Counter("culzss_frames_salvage_skipped_bytes_total").Add(cse.Skipped)
 			return nil, nil, err // salvage: recoverable, not sticky
 		}
 		fr.err = err
@@ -234,6 +243,9 @@ func (fr *FrameReader) Next() (*SegmentFrame, *StreamTrailer, error) {
 	}
 	if trailer != nil {
 		fr.trailer = trailer
+		fr.Obs.Counter("culzss_frames_read_total", obs.L("kind", "trailer")).Inc()
+	} else {
+		fr.Obs.Counter("culzss_frames_read_total", obs.L("kind", "segment")).Inc()
 	}
 	return frame, trailer, nil
 }

@@ -103,5 +103,6 @@ func Decompress(container []byte, opts Options) ([]byte, *Report, error) {
 		InputBytes:  len(container),
 		OutputBytes: len(out),
 	}
+	observeReport(opts.Obs, "decompress", report)
 	return out, report, nil
 }

@@ -36,6 +36,8 @@ type dispatchResult struct {
 	Degraded bool
 	// Attempts counts GPU attempts made (including the successful one).
 	Attempts int
+	// TimedOut counts attempts the watchdog cut.
+	TimedOut int
 }
 
 // CompressV1Supervised is the exported face of the supervised dispatch
@@ -60,6 +62,15 @@ func CompressV1Supervised(data []byte, opts Options, home int, op string) (conta
 // file comment for the dispatch ladder. The returned error is non-nil
 // only for caller cancellation or a CPU-fallback failure.
 func dispatchV1(sup *health.Supervisor, data []byte, opts Options, home int, op string) (dispatchResult, error) {
+	sp := opts.Obs.Tracer().Start(op, "dispatch")
+	res, err := dispatchV1Pool(sup, data, opts, home, op)
+	observeDispatch(opts.Obs, op, res, err, sp)
+	return res, err
+}
+
+// dispatchV1Pool is dispatchV1's pool walk, free of observability
+// concerns.
+func dispatchV1Pool(sup *health.Supervisor, data []byte, opts Options, home int, op string) (dispatchResult, error) {
 	res := dispatchResult{Device: -1}
 	ctx := opts.Context
 	if ctx == nil {
@@ -85,6 +96,7 @@ func dispatchV1(sup *health.Supervisor, data []byte, opts Options, home int, op 
 		if dev := sup.Device(id); dev != nil {
 			attempt.Device = dev
 		}
+		ksp := opts.Obs.Tracer().Start(op, "kernel").SetDevice(id)
 		runErr := sup.Run(ctx, id, op, func(runCtx context.Context) error {
 			attempt.Context = runCtx
 			c, r, err := CompressV1(data, attempt)
@@ -94,6 +106,10 @@ func dispatchV1(sup *health.Supervisor, data []byte, opts Options, home int, op 
 			acont, arep = c, r
 			return nil
 		})
+		ksp.End(runErr)
+		if isTimeout(runErr) {
+			res.TimedOut++
+		}
 		if runErr == nil {
 			res.Container, res.Report, res.Device = acont, arep, id
 			return res, nil

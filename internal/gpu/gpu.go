@@ -50,6 +50,7 @@ import (
 	"culzss/internal/format"
 	"culzss/internal/health"
 	"culzss/internal/lzss"
+	"culzss/internal/obs"
 )
 
 // Model constants translating real executed work into simulated cycles.
@@ -146,6 +147,12 @@ type Options struct {
 	// pool is quarantined. Nil keeps the legacy fail-fast dispatch
 	// (first shard error aborts the run, attributed to its device).
 	Health *health.Supervisor
+	// Obs, when non-nil, mirrors the run into the observability layer:
+	// launch counters and modeled stage histograms per kernel, dispatch
+	// spans (with device id and retry/degrade/timeout annotations) on the
+	// supervised ladder, and shard/slice counters on the multi-GPU,
+	// hybrid, and streamed paths. Nil is inert (the obs contract).
+	Obs *obs.Registry
 }
 
 func (o *Options) device() *cudasim.Device {

@@ -169,6 +169,10 @@ func CompressV1Hybrid(data []byte, opts Options, cpuFraction float64) ([]byte, *
 
 	container, _ := assembleContainer(format.CodecCULZSSV1, cfg, opts.ChunkSize, data, streams)
 	rep.OutputBytes = len(container)
+	opts.Obs.Counter("culzss_hybrid_runs_total").Inc()
+	if rep.GPUDegraded {
+		opts.Obs.Counter("culzss_hybrid_gpu_degraded_total").Inc()
+	}
 	return container, rep, nil
 }
 

@@ -142,8 +142,10 @@ func CompressV1MultiGPU(data []byte, opts Options, nGPUs int) ([]byte, *MultiGPU
 		for _, b := range h.ChunkBounds() {
 			allStreams = append(allStreams, payload[b.CompOff:b.CompOff+b.CompLen])
 		}
+		opts.Obs.Counter("culzss_multigpu_shards_total").Inc()
 		if degraded {
 			rep.DegradedShards++
+			opts.Obs.Counter("culzss_multigpu_degraded_shards_total").Inc()
 			continue
 		}
 		rep.PerDevice = append(rep.PerDevice, r)

@@ -94,9 +94,11 @@ func CompressV1Streamed(data []byte, opts Options, streams int) ([]byte, *Report
 		for _, b := range h.ChunkBounds() {
 			allStreams = append(allStreams, payload[b.CompOff:b.CompOff+b.CompLen])
 		}
+		opts.Obs.Counter("culzss_streamed_slices_total").Inc()
 		if degraded {
 			// A CPU-encoded slice contributes no pipeline stage and no
 			// launch counters; the bytes are identical regardless.
+			opts.Obs.Counter("culzss_streamed_degraded_slices_total").Inc()
 			continue
 		}
 		// Saturated slice kernel times: wave-granularity artifacts of

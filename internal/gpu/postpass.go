@@ -222,6 +222,7 @@ func CompressV2GPUPost(data []byte, opts Options) ([]byte, *Report, error) {
 		InputBytes:     len(data),
 		OutputBytes:    len(container),
 	}
+	observeReport(opts.Obs, "culzss_v2_gpupost", report)
 	return container, report, nil
 }
 

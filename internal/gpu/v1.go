@@ -136,6 +136,7 @@ func CompressV1(data []byte, opts Options) ([]byte, *Report, error) {
 		InputBytes:  len(data),
 		OutputBytes: len(container),
 	}
+	observeReport(opts.Obs, "culzss_v1", report)
 	return container, report, nil
 }
 

@@ -202,5 +202,6 @@ func CompressV2(data []byte, opts Options) ([]byte, *Report, error) {
 		InputBytes:     len(data),
 		OutputBytes:    len(container),
 	}
+	observeReport(opts.Obs, "culzss_v2", report)
 	return container, report, nil
 }

@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Bench-regression reports. cubench -json serializes a compression run
+// as one BenchReport; a committed baseline (BENCH_6.json at the repo
+// root) plus cubench -against turns any later run into a regression
+// gate. The reports are meant to ride the Modeled timing basis: every
+// number derives from operation counters and the simulator's schedule,
+// so a >tolerance delta is a real change in the code's work, not host
+// noise.
+
+// BenchCell is one (dataset, system) measurement.
+type BenchCell struct {
+	Dataset string `json:"dataset"`
+	System  string `json:"system"`
+	// NsPerOp is the reporting-basis time to compress the dataset once.
+	NsPerOp int64 `json:"ns_per_op"`
+	// SimMs is the same time in milliseconds (for human diffing).
+	SimMs float64 `json:"sim_ms"`
+	// RatioPct is compressed/original in percent.
+	RatioPct float64 `json:"ratio_pct"`
+}
+
+// BenchConfig records how the report was produced, so -against can
+// refuse to compare apples to oranges.
+type BenchConfig struct {
+	Size         int    `json:"size"`
+	Reps         int    `json:"reps"`
+	Seed         int64  `json:"seed"`
+	SerialSearch string `json:"serial_search"`
+	Saturated    bool   `json:"saturated"`
+	Modeled      bool   `json:"modeled"`
+}
+
+// BenchReport is the cubench -json output.
+type BenchReport struct {
+	Config BenchConfig `json:"config"`
+	Cells  []BenchCell `json:"cells"`
+}
+
+// BenchFromMatrix flattens a compression grid into a report. Cells are
+// sorted (dataset, system) so the JSON diffs cleanly.
+func BenchFromMatrix(m *Matrix, bc BenchConfig) *BenchReport {
+	rep := &BenchReport{Config: bc}
+	for _, ds := range m.Datasets {
+		for _, sys := range m.Systems {
+			c := m.Cell(ds, sys)
+			if c == nil {
+				continue
+			}
+			t := c.Time
+			if c.GPUReport != nil && m.Saturated {
+				t = c.GPUReport.SaturatedTotal()
+			}
+			rep.Cells = append(rep.Cells, BenchCell{
+				Dataset:  ds,
+				System:   sys,
+				NsPerOp:  t.Nanoseconds(),
+				SimMs:    float64(t.Nanoseconds()) / 1e6,
+				RatioPct: c.Ratio() * 100,
+			})
+		}
+	}
+	sort.Slice(rep.Cells, func(i, j int) bool {
+		if rep.Cells[i].Dataset != rep.Cells[j].Dataset {
+			return rep.Cells[i].Dataset < rep.Cells[j].Dataset
+		}
+		return rep.Cells[i].System < rep.Cells[j].System
+	})
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadBenchReport parses a report written by WriteJSON.
+func ReadBenchReport(rd io.Reader) (*BenchReport, error) {
+	var rep BenchReport
+	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bench baseline: %w", err)
+	}
+	return &rep, nil
+}
+
+// Compare checks r (the current run) against a baseline and returns one
+// message per regression: a cell whose time grew by more than tolerance
+// (0.25 = +25%), or a baseline cell the current run no longer produces.
+// Improvements and new cells are not regressions. Mismatched configs
+// are reported as a single regression, since the numbers would be
+// incomparable.
+func (r *BenchReport) Compare(baseline *BenchReport, tolerance float64) []string {
+	if r.Config != baseline.Config {
+		return []string{fmt.Sprintf("config mismatch: current %+v vs baseline %+v (regenerate the baseline)",
+			r.Config, baseline.Config)}
+	}
+	cur := make(map[string]BenchCell, len(r.Cells))
+	for _, c := range r.Cells {
+		cur[c.Dataset+"\x00"+c.System] = c
+	}
+	var regressions []string
+	for _, base := range baseline.Cells {
+		c, ok := cur[base.Dataset+"\x00"+base.System]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s / %s: cell missing from current run", base.Dataset, base.System))
+			continue
+		}
+		if base.NsPerOp <= 0 {
+			continue
+		}
+		limit := float64(base.NsPerOp) * (1 + tolerance)
+		if float64(c.NsPerOp) > limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s / %s: %.3fms vs baseline %.3fms (+%.1f%%, tolerance %.0f%%)",
+				base.Dataset, base.System, c.SimMs, base.SimMs,
+				(float64(c.NsPerOp)/float64(base.NsPerOp)-1)*100, tolerance*100))
+		}
+	}
+	return regressions
+}

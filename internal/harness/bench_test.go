@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func benchFixture() *BenchReport {
+	return &BenchReport{
+		Config: BenchConfig{Size: 1 << 20, Reps: 1, Seed: 42, SerialSearch: "hashchain", Saturated: true, Modeled: true},
+		Cells: []BenchCell{
+			{Dataset: "C files", System: SysSerial, NsPerOp: 100_000_000, SimMs: 100, RatioPct: 54.8},
+			{Dataset: "C files", System: SysV1, NsPerOp: 40_000_000, SimMs: 40, RatioPct: 55.7},
+		},
+	}
+}
+
+func TestBenchCompareTolerance(t *testing.T) {
+	base := benchFixture()
+	cur := benchFixture()
+
+	if regs := cur.Compare(base, 0.25); len(regs) != 0 {
+		t.Fatalf("identical reports regressed: %v", regs)
+	}
+	// +20% is inside a 25% tolerance; improvements never regress.
+	cur.Cells[0].NsPerOp = 120_000_000
+	cur.Cells[1].NsPerOp = 10_000_000
+	if regs := cur.Compare(base, 0.25); len(regs) != 0 {
+		t.Fatalf("within-tolerance drift flagged: %v", regs)
+	}
+	// +30% is out.
+	cur.Cells[0].NsPerOp = 130_000_000
+	regs := cur.Compare(base, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "C files / Serial LZSS") {
+		t.Fatalf("regression not flagged: %v", regs)
+	}
+}
+
+func TestBenchCompareMissingCellAndConfig(t *testing.T) {
+	base := benchFixture()
+	cur := benchFixture()
+	cur.Cells = cur.Cells[:1]
+	regs := cur.Compare(base, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+		t.Fatalf("dropped cell not flagged: %v", regs)
+	}
+
+	cur = benchFixture()
+	cur.Config.Size = 2 << 20
+	regs = cur.Compare(base, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "config mismatch") {
+		t.Fatalf("config mismatch not flagged: %v", regs)
+	}
+}
+
+func TestBenchReportJSONRoundTrip(t *testing.T) {
+	rep := benchFixture()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config != rep.Config || len(got.Cells) != len(rep.Cells) {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	for i := range got.Cells {
+		if got.Cells[i] != rep.Cells[i] {
+			t.Fatalf("cell %d: %+v != %+v", i, got.Cells[i], rep.Cells[i])
+		}
+	}
+}
+
+func TestBenchFromMatrixSortedAndComplete(t *testing.T) {
+	cfg := testConfig()
+	cfg.Modeled = true
+	m, err := RunCompression(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := BenchFromMatrix(m, BenchConfig{Size: cfg.Size, Reps: cfg.Reps, Seed: cfg.Seed, Modeled: true})
+	if want := len(m.Datasets) * len(m.Systems); len(rep.Cells) != want {
+		t.Fatalf("report has %d cells, grid has %d", len(rep.Cells), want)
+	}
+	if !sort.SliceIsSorted(rep.Cells, func(i, j int) bool {
+		if rep.Cells[i].Dataset != rep.Cells[j].Dataset {
+			return rep.Cells[i].Dataset < rep.Cells[j].Dataset
+		}
+		return rep.Cells[i].System < rep.Cells[j].System
+	}) {
+		t.Fatal("cells not sorted (dataset, system)")
+	}
+	for _, c := range rep.Cells {
+		if c.NsPerOp <= 0 || c.RatioPct <= 0 {
+			t.Fatalf("degenerate cell: %+v", c)
+		}
+	}
+}

@@ -59,6 +59,13 @@ type Config struct {
 	// leave most SMs idle in V1's chunk-per-thread grid, so saturated
 	// times are the size-independent basis for comparing shapes.
 	Saturated bool
+	// Modeled replaces every measured wall-clock component with a
+	// deterministic model driven by operation counters (modeled.go): CPU
+	// cells from their search/sort statistics, GPU cells' host post-pass
+	// from the bytes it touches. Same input, same times — the basis the
+	// shape assertions use so they cannot flake on host noise or the
+	// race detector's slowdown. Result.Wall stays measured either way.
+	Modeled bool
 	// Progress, when non-nil, receives one line per completed cell.
 	Progress func(msg string)
 }
@@ -73,6 +80,24 @@ func (c *Config) fill() {
 	if c.Seed == 0 {
 		c.Seed = 20110926 // CLUSTER 2011 week, for determinism
 	}
+}
+
+// Filled returns a copy with the defaults applied — what a run with
+// this config actually uses (bench reports record it).
+func (c Config) Filled() Config {
+	c.fill()
+	return c
+}
+
+// modelWorkers is the pthread worker count the modeled basis divides
+// by. Config.Workers when set; otherwise a fixed 8 (the paper's pthread
+// configuration) rather than GOMAXPROCS, so modeled times do not vary
+// with the host's core count.
+func (c *Config) modelWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return 8
 }
 
 func (c *Config) logf(format string, args ...any) {
@@ -163,19 +188,38 @@ func runCompressionCell(cfg *Config, dsName, sys string, data []byte) (*Result, 
 	for rep := 0; rep < cfg.Reps; rep++ {
 		start := time.Now()
 		var (
-			comp   []byte
-			report *gpu.Report
-			err    error
+			comp    []byte
+			report  *gpu.Report
+			err     error
+			modeled time.Duration // CPU-cell modeled basis (Config.Modeled)
+			search  lzss.SearchStats
 		)
 		switch sys {
 		case SysSerial:
-			comp, err = cpulzss.CompressSerial(data, cpulzss.Options{Config: cpuBaselineConfig, Search: cfg.SerialSearch})
+			opts := cpulzss.Options{Config: cpuBaselineConfig, Search: cfg.SerialSearch}
+			if cfg.Modeled {
+				opts.Stats = &search
+			}
+			comp, err = cpulzss.CompressSerial(data, opts)
+			if cfg.Modeled {
+				modeled = modeledSearchTime(search, 1)
+			}
 		case SysPthread:
-			comp, err = cpulzss.CompressParallel(data, cpulzss.Options{Config: cpuBaselineConfig, Search: cfg.SerialSearch, Workers: cfg.Workers})
+			opts := cpulzss.Options{Config: cpuBaselineConfig, Search: cfg.SerialSearch, Workers: cfg.Workers}
+			if cfg.Modeled {
+				opts.Stats = &search
+			}
+			comp, err = cpulzss.CompressParallel(data, opts)
+			if cfg.Modeled {
+				modeled = modeledSearchTime(search, cfg.modelWorkers())
+			}
 		case SysBZip2:
 			var st bwt.Stats
 			comp, err = bzip2.Compress(data, bzip2.Options{Workers: 1, SortStats: &st})
 			res.SortStats = st
+			if cfg.Modeled {
+				modeled = modeledBZip2Time(st, len(data))
+			}
 		case SysV1:
 			comp, report, err = gpu.CompressV1(data, gpu.Options{})
 		case SysV2:
@@ -190,12 +234,20 @@ func runCompressionCell(cfg *Config, dsName, sys string, data []byte) (*Result, 
 		wallSum += wall
 		basis := wall
 		if report != nil {
+			if cfg.Modeled {
+				// Swap the report's measured host step for the modeled
+				// one, so every total derived from it — including the
+				// SaturatedTotal the shape test reads — is deterministic.
+				report.HostTime = modeledHostPass(sys, report)
+			}
 			if cfg.Saturated {
 				basis = report.SaturatedTotal()
 			} else {
 				basis = report.SimulatedTotal()
 			}
 			res.GPUReport = report
+		} else if cfg.Modeled {
+			basis = modeled
 		}
 		res.Samples = append(res.Samples, basis)
 		res.CompressedLen = len(comp)

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"time"
+
+	"culzss/internal/bzip2/bwt"
+	"culzss/internal/gpu"
+	"culzss/internal/lzss"
+)
+
+// Modeled timing basis.
+//
+// The harness's default basis mixes two clocks: the GPU cells report the
+// simulator's deterministic schedule, while the CPU cells (and the GPU
+// versions' host post-passes) report measured wall-clock. Measured time
+// is the honest basis for benchmarking, but it makes the *shape*
+// assertions (who wins where — Table I's qualitative structure) hostage
+// to host noise, and the race detector's ~10x slowdown on instrumented
+// CPU work breaks the V1-vs-V2 comparison outright.
+//
+// Config.Modeled replaces every measured component with a deterministic
+// model driven by the encoders' own operation counters: the serial and
+// pthread cells charge a fixed cycle cost per search operation
+// (lzss.SearchStats), the BZIP2 cell per sort comparison and
+// fallback-round element (bwt.Stats), and the GPU cells' host post-pass
+// per byte it touches. Same input, same counters, same times — on any
+// host, under any detector. The cycle weights below are calibrated
+// against measured runs on a 2.67 GHz core (the basis the baseline
+// throughput discussion in harness.go already assumes), so modeled
+// magnitudes stay in the measured ballpark; only their variance is gone.
+
+// modeledHostHz is the modeled host clock: the 2.67 GHz the serial
+// baseline's throughput analysis assumes.
+const modeledHostHz = 2.67e9
+
+// cyclesToDuration converts a modeled cycle count to time on the modeled
+// host clock.
+func cyclesToDuration(cycles float64) time.Duration {
+	return time.Duration(cycles / modeledHostHz * float64(time.Second))
+}
+
+// Modeled per-operation cycle weights, calibrated against measured
+// 2 MiB runs (brute-force C files: 124M comparisons + 119M offsets in
+// ~270ms measured ≈ 2.9 cycles per visited offset/comparison pair).
+const (
+	cyclesPerPosition   = 20 // loop + token-emit overhead per input position
+	cyclesPerOffset     = 2  // candidate-offset bookkeeping
+	cyclesPerComparison = 2  // one byte compare
+	cyclesPerMainSort   = 2  // BWT bucket+quicksort comparison
+	cyclesPerFallback   = 4  // BWT prefix-doubling, per element per round
+	cyclesPerBWTByte    = 30 // MTF + RLE + Huffman linear passes
+	cyclesPerConcatByte = 2  // V1 host step: bucket concatenation, per output byte
+	cyclesPerSelectByte = 9  // V2 host step: token selection + flag generation, per input byte
+)
+
+// modeledSearchTime converts LZSS search counters to modeled host time,
+// divided across workers (1 for the serial baseline). The pthread model
+// adds a fixed pool spin-up cost so zero-work inputs still cost time.
+func modeledSearchTime(st lzss.SearchStats, workers int) time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
+	cycles := float64(st.Positions)*cyclesPerPosition +
+		float64(st.Offsets)*cyclesPerOffset +
+		float64(st.Comparisons)*cyclesPerComparison
+	d := cyclesToDuration(cycles / float64(workers))
+	if workers > 1 {
+		d += 200 * time.Microsecond
+	}
+	return d
+}
+
+// modeledBZip2Time converts BWT sort counters plus the linear
+// entropy-coding passes to modeled host time. The fallback term is what
+// reproduces the paper's pathology: on the period-20 highly-compressible
+// data nearly every rotation ties into the prefix-doubling fallback, and
+// its elements x rounds product dwarfs the main sort.
+func modeledBZip2Time(st bwt.Stats, inputLen int) time.Duration {
+	cycles := float64(st.MainCompares)*cyclesPerMainSort +
+		float64(st.FallbackElems)*float64(st.FallbackRounds)*cyclesPerFallback +
+		float64(inputLen)*cyclesPerBWTByte
+	return cyclesToDuration(cycles)
+}
+
+// modeledHostPass returns the modeled duration of a GPU version's serial
+// host step: V1 concatenates the per-chunk buckets (work proportional to
+// the output), V2 selects tokens and generates flag bits (work
+// proportional to the input it walks).
+func modeledHostPass(sys string, rep *gpu.Report) time.Duration {
+	if sys == SysV2 {
+		return cyclesToDuration(float64(rep.InputBytes) * cyclesPerSelectByte)
+	}
+	return cyclesToDuration(float64(rep.OutputBytes) * cyclesPerConcatByte)
+}

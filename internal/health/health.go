@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"culzss/internal/cudasim"
+	"culzss/internal/obs"
 )
 
 // State is a circuit breaker's position.
@@ -76,6 +77,11 @@ func (s State) String() string {
 // Policy tunes the supervisor. The zero value selects the defaults
 // documented per field.
 type Policy struct {
+	// Obs, when non-nil, mirrors the supervisor's counters into the
+	// observability registry (the culzss_health_* families, README
+	// "Observability"). Nil costs nothing: the instruments resolve to
+	// inert nils at construction.
+	Obs *obs.Registry
 	// Window is the sliding outcome window per device; 0 means 8.
 	Window int
 	// Threshold is the number of failures inside the window that opens

@@ -7,7 +7,47 @@ import (
 	"time"
 
 	"culzss/internal/cudasim"
+	"culzss/internal/obs"
 )
+
+// metrics holds the supervisor's pre-resolved observability instruments.
+// With Policy.Obs nil every field is nil and every increment is a no-op
+// (the obs nil-inert contract), so the zero-cost-when-off property holds
+// without guards at the call sites. Each counter increments exactly where
+// the supervisor's own lifetime counter does, so a fresh registry's totals
+// reconcile with Snapshot deltas by construction.
+type metrics struct {
+	transitions [3]*obs.Counter // indexed by the destination State
+	opens       *obs.Counter
+	timeouts    *obs.Counter
+	redispatch  *obs.Counter
+	successes   *obs.Counter
+	failures    *obs.Counter
+	quarantined *obs.Gauge
+}
+
+func newMetrics(reg *obs.Registry) metrics {
+	if reg == nil {
+		return metrics{}
+	}
+	reg.SetHelp("culzss_health_breaker_transitions_total", "Circuit-breaker state transitions by destination state.")
+	reg.SetHelp("culzss_health_breaker_opens_total", "Circuit-breaker transitions into Open (device quarantines).")
+	reg.SetHelp("culzss_health_watchdog_timeouts_total", "Guarded operations cut by the watchdog deadline.")
+	reg.SetHelp("culzss_health_redispatches_total", "Operations re-routed to a sibling device after a failure.")
+	reg.SetHelp("culzss_health_outcomes_total", "Operation outcomes recorded on device breakers.")
+	reg.SetHelp("culzss_health_quarantined_devices", "Devices currently quarantined (breaker Open).")
+	var m metrics
+	for _, st := range []State{Closed, Open, HalfOpen} {
+		m.transitions[st] = reg.Counter("culzss_health_breaker_transitions_total", obs.L("to", st.String()))
+	}
+	m.opens = reg.Counter("culzss_health_breaker_opens_total")
+	m.timeouts = reg.Counter("culzss_health_watchdog_timeouts_total")
+	m.redispatch = reg.Counter("culzss_health_redispatches_total")
+	m.successes = reg.Counter("culzss_health_outcomes_total", obs.L("outcome", "success"))
+	m.failures = reg.Counter("culzss_health_outcomes_total", obs.L("outcome", "failure"))
+	m.quarantined = reg.Gauge("culzss_health_quarantined_devices")
+	return m
+}
 
 // Supervisor owns a pool of devices, one circuit breaker per device, the
 // watchdog, and the fleet counters. Construct with NewSupervisor; the
@@ -15,6 +55,7 @@ import (
 // layer, which treats "no supervisor" as "legacy fail-fast dispatch").
 type Supervisor struct {
 	pol Policy
+	met metrics
 
 	mu     sync.Mutex
 	slots  []*slot
@@ -51,7 +92,7 @@ func NewSupervisor(slots []DeviceSlot, pol Policy) *Supervisor {
 	if len(slots) == 0 {
 		slots = []DeviceSlot{{}}
 	}
-	s := &Supervisor{pol: pol}
+	s := &Supervisor{pol: pol, met: newMetrics(pol.Obs)}
 	for _, ds := range slots {
 		s.slots = append(s.slots, &slot{
 			dev:    ds.Device,
@@ -122,7 +163,13 @@ func (s *Supervisor) transitionLocked(id int, to State, cause string) {
 	}
 	if to == Open {
 		s.opens++
+		s.met.opens.Inc()
+		s.met.quarantined.Inc()
 	}
+	if sl.state == Open {
+		s.met.quarantined.Dec()
+	}
+	s.met.transitions[to].Inc()
 	s.events = append(s.events, Event{At: s.pol.now(), Device: id, From: sl.state, To: to, Cause: cause})
 	if len(s.events) > logbookCap {
 		s.events = s.events[len(s.events)-logbookCap:]
@@ -170,6 +217,7 @@ func (s *Supervisor) ReportSuccess(id int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.successes++
+	s.met.successes.Inc()
 	s.recordLocked(id, false, "")
 }
 
@@ -179,6 +227,7 @@ func (s *Supervisor) ReportFailure(id int, cause string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.failures++
+	s.met.failures.Inc()
 	s.recordLocked(id, true, cause)
 }
 
@@ -246,6 +295,7 @@ func (s *Supervisor) resetWindowLocked(id int) {
 func (s *Supervisor) NoteRedispatch() {
 	s.mu.Lock()
 	s.redispatched++
+	s.met.redispatch.Inc()
 	s.mu.Unlock()
 }
 
@@ -307,7 +357,9 @@ func (s *Supervisor) Run(ctx context.Context, id int, op string, f func(context.
 func (s *Supervisor) timeoutLocked(id int, op string) error {
 	s.mu.Lock()
 	s.timedOut++
+	s.met.timeouts.Inc()
 	s.failures++
+	s.met.failures.Inc()
 	s.recordLocked(id, true, "watchdog timeout")
 	s.mu.Unlock()
 	return &TimeoutError{Op: op, Device: id, Deadline: s.pol.Deadline}

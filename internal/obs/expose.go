@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name with their
+// HELP/TYPE headers, series within a family sorted by label set, so the
+// output is deterministic for a given registry state. A nil registry
+// writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	// Snapshot the series table under the lock, then render outside it
+	// (instrument reads are individually synchronised).
+	r.mu.Lock()
+	all := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		all = append(all, s)
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].name != all[j].name {
+			return all[i].name < all[j].name
+		}
+		return labelString(all[i].labels) < labelString(all[j].labels)
+	})
+
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, s := range all {
+		if s.name != lastFamily {
+			lastFamily = s.name
+			if h := help[s.name]; h != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", s.name, escapeHelp(h))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", s.name, s.kind())
+		}
+		s.write(bw)
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving the registry's exposition at
+// any path (mount it at /metrics). A nil registry serves an empty body.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+func (s *series) kind() string {
+	switch {
+	case s.counter != nil:
+		return "counter"
+	case s.gauge != nil:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+func (s *series) write(w io.Writer) {
+	switch {
+	case s.counter != nil:
+		fmt.Fprintf(w, "%s%s %d\n", s.name, labelString(s.labels), s.counter.Value())
+	case s.gauge != nil:
+		fmt.Fprintf(w, "%s%s %d\n", s.name, labelString(s.labels), s.gauge.Value())
+	case s.hist != nil:
+		snap := s.hist.Snapshot()
+		for i, b := range snap.Bounds {
+			fmt.Fprintf(w, "%s_bucket%s %d\n", s.name,
+				labelString(append(append([]Label(nil), s.labels...), L("le", formatFloat(b)))),
+				snap.Cumulative[i])
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", s.name,
+			labelString(append(append([]Label(nil), s.labels...), L("le", "+Inf"))), snap.Count)
+		fmt.Fprintf(w, "%s_sum%s %s\n", s.name, labelString(s.labels), formatFloat(snap.Sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", s.name, labelString(s.labels), snap.Count)
+	}
+}
+
+// labelString renders {k="v",...} (empty string for no labels). The
+// "le" label is appended after the canonical labels, matching the
+// Prometheus client convention of trailing le.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

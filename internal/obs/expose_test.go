@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"flag"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenRegistry builds a registry with one of everything, fully
+// deterministic (no wall-clock content).
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.SetHelp("culzss_writer_segments_total", "Segments the Writer pipeline processed.")
+	r.Counter("culzss_writer_segments_total").Add(12)
+	r.Counter("culzss_writer_retries_total").Add(3)
+	r.SetHelp("culzss_health_device_state", "Breaker state per device (0 closed, 1 open, 2 half-open).")
+	r.Gauge("culzss_health_device_state", L("device", "0")).Set(1)
+	r.Gauge("culzss_health_device_state", L("device", "1")).Set(0)
+	r.SetHelp("culzss_stage_seconds", "Wall time per pipeline stage.")
+	h := r.HistogramBuckets("culzss_stage_seconds", []float64{0.001, 0.01, 0.1, 1}, L("stage", "kernel"))
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 2} {
+		h.Observe(v)
+	}
+	r.Counter("culzss_writer_bytes_in_total").Add(1 << 20)
+	// A label value needing escapes.
+	r.Counter("culzss_escape_total", L("msg", `quote " slash \ newline`+"\n")).Inc()
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition differs from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	// Map iteration must not leak into the output order.
+	var a, b strings.Builder
+	r := goldenRegistry()
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two expositions of the same registry differ")
+	}
+}
+
+func TestHandler(t *testing.T) {
+	srv := httptest.NewServer(Handler(goldenRegistry()))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE culzss_writer_segments_total counter",
+		"culzss_writer_segments_total 12",
+		`culzss_health_device_state{device="0"} 1`,
+		`culzss_stage_seconds_bucket{stage="kernel",le="+Inf"} 5`,
+		"culzss_stage_seconds_count",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("body missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHandlerNilRegistry(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if len(body) != 0 {
+		t.Fatalf("nil registry served %q", body)
+	}
+}

@@ -1,0 +1,280 @@
+// Package obs is the pipeline observability layer: a dependency-free,
+// race-safe metrics registry (counters, gauges, bounded histograms with
+// quantile snapshots), lightweight per-stage span tracing, and a
+// Prometheus-style text exposition.
+//
+// The paper's evaluation (§IV) is throughput tables; a production
+// deployment of the streaming pipeline needs the same numbers live:
+// which stage is the bottleneck (match kernel vs. host post-pass vs.
+// transfer), how often the retry/degrade ladder fires, which devices the
+// health supervisor has quarantined. Every subsystem takes an optional
+// *Registry and reports into it; the metric families are documented in
+// README.md ("Observability").
+//
+// # Zero cost when off
+//
+// The package follows the same contract as faults.Injector and
+// health.Supervisor: a nil *Registry is inert. Every method on a nil
+// *Registry returns a nil instrument, and every method on a nil
+// instrument is a no-op, so call sites may write
+//
+//	reg.Counter("culzss_writer_segments_total").Inc()
+//
+// unconditionally — with reg == nil the whole chain costs two nil tests
+// and touches no memory. Hot paths that resolve instruments repeatedly
+// should still cache them (resolution takes a mutex and builds a map
+// key); the wired subsystems resolve once at construction.
+//
+// # Naming
+//
+// Metric names follow the Prometheus conventions: snake_case, a
+// `culzss_` namespace prefix, `_total` suffix on counters, `_seconds`
+// on duration histograms. Labels are ordered canonically (sorted by
+// key) so the same label set always resolves to the same series.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name/value pair attached to a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Registry holds every registered instrument. All methods are safe for
+// concurrent use; a nil *Registry is inert (see the package comment).
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*series // keyed by series ID (name + canonical labels)
+	help   map[string]string  // family name -> HELP text
+	tracer *Tracer
+}
+
+// series is one (name, labels) instrument of any kind. Exactly one of
+// counter/gauge/hist is non-nil.
+type series struct {
+	name    string
+	labels  []Label // canonically ordered
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// NewRegistry returns an empty registry with a default-capacity span
+// tracer attached.
+func NewRegistry() *Registry {
+	r := &Registry{
+		series: make(map[string]*series),
+		help:   make(map[string]string),
+	}
+	r.tracer = newTracer(r, defaultTraceCap)
+	return r
+}
+
+// SetHelp attaches a HELP line to a metric family for the exposition.
+func (r *Registry) SetHelp(name, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = text
+	r.mu.Unlock()
+}
+
+// Tracer returns the registry's span tracer (nil for a nil registry).
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
+}
+
+// canonical sorts labels by key (copying first) and validates them.
+func canonical(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// seriesID builds the map key for (name, labels).
+func seriesID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('\x00')
+		b.WriteString(l.Key)
+		b.WriteByte('\x01')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// validName enforces the Prometheus metric/label name charset.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// lookup finds or creates the series, calling make under the lock when
+// absent. It panics when the same (name, labels) was already registered
+// as a different instrument kind, or the name is malformed — both are
+// programmer errors.
+func (r *Registry) lookup(name string, labels []Label, mk func(*series)) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	labels = canonical(labels)
+	for _, l := range labels {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %s", l.Key, name))
+		}
+	}
+	id := seriesID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.series[id]; ok {
+		return s
+	}
+	s := &series{name: name, labels: labels}
+	mk(s)
+	r.series[id] = s
+	return s
+}
+
+// Counter returns (creating on first use) the counter series for
+// (name, labels). Nil registry yields a nil, inert counter.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, labels, func(s *series) { s.counter = &Counter{} })
+	if s.counter == nil {
+		panic(fmt.Sprintf("obs: %s already registered as a non-counter", name))
+	}
+	return s.counter
+}
+
+// Gauge returns (creating on first use) the gauge series for
+// (name, labels). Nil registry yields a nil, inert gauge.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, labels, func(s *series) { s.gauge = &Gauge{} })
+	if s.gauge == nil {
+		panic(fmt.Sprintf("obs: %s already registered as a non-gauge", name))
+	}
+	return s.gauge
+}
+
+// Histogram returns (creating on first use) the histogram series for
+// (name, labels), with the default duration-oriented buckets. Nil
+// registry yields a nil, inert histogram.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	return r.HistogramBuckets(name, nil, labels...)
+}
+
+// HistogramBuckets is Histogram with explicit bucket upper bounds
+// (ascending; +Inf is implicit). nil buckets means DefBuckets. The
+// bucket layout is fixed at first registration; later calls with
+// different buckets return the existing series unchanged.
+func (r *Registry) HistogramBuckets(name string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, labels, func(s *series) { s.hist = newHistogram(buckets) })
+	if s.hist == nil {
+		panic(fmt.Sprintf("obs: %s already registered as a non-histogram", name))
+	}
+	return s.hist
+}
+
+// Counter is a monotonically increasing int64. All methods are safe for
+// concurrent use and inert on a nil receiver.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n; negative n is ignored (counters are monotone).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an int64 that may go up and down. All methods are safe for
+// concurrent use and inert on a nil receiver.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Inc adds one; Dec subtracts one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// defaultTraceCap bounds the tracer's completed-span ring. A segment
+// produces a handful of spans, so 512 covers the recent ~100 segments —
+// enough to reconstruct what the pipeline was doing when something went
+// wrong, at a fixed memory cost.
+const defaultTraceCap = 512
+
+// StageSecondsMetric is the histogram family every completed span
+// observes its wall duration into, labelled {stage="<stage>"}.
+const StageSecondsMetric = "culzss_stage_seconds"
+
+// Span is one completed stage of a piece of work's lifecycle
+// (read -> dispatch -> kernel -> post-pass -> frame-emit for a Writer
+// segment).
+type Span struct {
+	// Op names the work item ("segment 12", "shard 3").
+	Op string
+	// Stage is the lifecycle stage ("read", "dispatch", "kernel",
+	// "post-pass", "frame-emit").
+	Stage string
+	// Device is the pool slot that served the stage; -1 when no device
+	// was involved (host-side stages, CPU degrades).
+	Device int
+	// Start and Duration are wall-clock.
+	Start    time.Time
+	Duration time.Duration
+	// Attrs carry stage annotations (retries, degraded, timeout...).
+	Attrs []Label
+	// Err is the failure message ("" on success).
+	Err string
+}
+
+// Tracer records completed spans into a bounded ring and mirrors their
+// durations into the registry's stage histogram. A nil *Tracer is inert.
+type Tracer struct {
+	reg *Registry
+	cap int
+
+	mu    sync.Mutex
+	ring  []Span
+	next  int
+	total int64
+}
+
+func newTracer(reg *Registry, capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{reg: reg, cap: capacity}
+}
+
+// Start opens a span for (op, stage). The returned *ActiveSpan is nil —
+// and every method on it a no-op — when the tracer is nil, so call
+// sites need no guards:
+//
+//	sp := tr.Start("segment 12", "kernel")
+//	...
+//	sp.SetDevice(1).Annotate("retries", "2").End(err)
+func (t *Tracer) Start(op, stage string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return &ActiveSpan{t: t, span: Span{Op: op, Stage: stage, Device: -1, Start: time.Now()}}
+}
+
+// Record logs an already-measured span (for stages whose timing is
+// captured outside an ActiveSpan, like the Writer's read stage).
+func (t *Tracer) Record(sp Span) {
+	if t == nil {
+		return
+	}
+	t.reg.Histogram(StageSecondsMetric, L("stage", sp.Stage)).Observe(sp.Duration.Seconds())
+	t.mu.Lock()
+	if len(t.ring) < t.cap {
+		t.ring = append(t.ring, sp)
+	} else {
+		t.ring[t.next] = sp
+	}
+	t.next = (t.next + 1) % t.cap
+	t.total++
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the retained spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	if len(t.ring) == t.cap {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Total returns the number of spans recorded over the tracer's lifetime
+// (the ring retains only the most recent).
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// ActiveSpan is a span being measured. Methods are chainable and inert
+// on a nil receiver.
+type ActiveSpan struct {
+	t    *Tracer
+	span Span
+}
+
+// SetDevice records the device pool slot serving this stage.
+func (s *ActiveSpan) SetDevice(id int) *ActiveSpan {
+	if s != nil {
+		s.span.Device = id
+	}
+	return s
+}
+
+// Annotate attaches a key/value annotation.
+func (s *ActiveSpan) Annotate(key, value string) *ActiveSpan {
+	if s != nil {
+		s.span.Attrs = append(s.span.Attrs, Label{Key: key, Value: value})
+	}
+	return s
+}
+
+// End closes the span with err (nil for success) and records it.
+func (s *ActiveSpan) End(err error) {
+	if s == nil {
+		return
+	}
+	s.span.Duration = time.Since(s.span.Start)
+	if err != nil {
+		s.span.Err = err.Error()
+	}
+	s.t.Record(s.span)
+}

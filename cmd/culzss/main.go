@@ -42,6 +42,23 @@
 // when the tool exits — the same families README.md's "Observability"
 // section documents and examples/gateway serves at /metrics.
 //
+// File outputs are atomic: the tool writes to a hidden temp file in the
+// destination directory and renames it into place only on success, so a
+// failed or interrupted run never leaves a truncated destination (stdout
+// is exempt, of course). -resume goes further: compression runs through
+// the crash-safe durable layer (internal/durable) — output accumulates
+// in <output>.partial with frame-boundary fsyncs every -commit-every
+// segments, and a rerun of the same command after a crash scans the
+// partial, truncates to the last verifiable frame, and continues the
+// stream instead of starting over:
+//
+//	culzss -resume -segment 1048576 big.dat big.clzs   # crash...
+//	culzss -resume -segment 1048576 big.dat big.clzs   # ...picks up
+//
+// -resume implies -stream, needs a real output file (not "-"), and reads
+// the input from the start on resume (the already-compressed prefix is
+// skipped, so the input must be unchanged since the interrupted run).
+//
 // Exit codes distinguish failure classes so scripts can react: 0 success,
 // 1 generic failure, 2 corrupt input (bad checksums, damaged records,
 // wrong magic), 3 truncated input (the stream ends mid-record or without
@@ -58,7 +75,10 @@ import (
 	"strings"
 	"time"
 
+	"path/filepath"
+
 	"culzss/internal/core"
+	"culzss/internal/durable"
 	"culzss/internal/format"
 	"culzss/internal/health"
 	"culzss/internal/lzss"
@@ -117,6 +137,8 @@ func run(args []string) error {
 		stream     = fs.Bool("stream", false, "framed streaming mode: bounded memory, suitable for pipes of any size")
 		segment    = fs.Int("segment", 0, "segment size in bytes for -stream (0 = 1 MiB)")
 		salvage    = fs.Bool("salvage", false, "with -d: best-effort decode of a damaged framed stream, skipping damaged segments")
+		resume     = fs.Bool("resume", false, "crash-safe compression: fsync at frame boundaries into <output>.partial and continue an interrupted run (implies -stream)")
+		commitEach = fs.Int("commit-every", 1, "with -resume: fsync cadence in segment frames")
 		gpuTimeout = fs.Duration("gpu-timeout", 0, "watchdog deadline per GPU dispatch; a hung kernel is cut and the work degrades to the CPU encoder (implies -degrade)")
 		degrade    = fs.Bool("degrade", false, "supervise the GPU path: launch failures quarantine the device and the work degrades to the byte-identical CPU encoder instead of failing")
 		metricsOut = fs.Bool("metrics", false, "dump the run's metrics (Prometheus text format) to stderr when done")
@@ -189,7 +211,15 @@ func run(args []string) error {
 			_, err := os.Stdout.Write(data)
 			return err
 		}
-		return os.WriteFile(path, data, 0o644)
+		a, err := newAtomicOutput(path)
+		if err != nil {
+			return err
+		}
+		if _, err := a.Write(data); err != nil {
+			a.Abort()
+			return err
+		}
+		return a.Close()
 	}
 	openInput := func() (io.ReadCloser, error) {
 		if in == "-" {
@@ -201,7 +231,10 @@ func run(args []string) error {
 		if path == "-" {
 			return nopWriteCloser{os.Stdout}, nil
 		}
-		return os.Create(path)
+		return newAtomicOutput(path)
+	}
+	if *resume && *decompress {
+		return fmt.Errorf("-resume applies to compression, not -d")
 	}
 	if *decompress {
 		out := fs.Arg(1)
@@ -240,10 +273,13 @@ func run(args []string) error {
 			return err
 		}
 		n, err := io.Copy(dst, r)
-		if cerr := dst.Close(); err == nil {
-			err = cerr
-		}
 		if err != nil {
+			// Nothing usable was produced: drop the temp file so the
+			// destination never appears truncated.
+			abortOutput(dst)
+			return err
+		}
+		if err := dst.Close(); err != nil {
 			return err
 		}
 		if *showStats {
@@ -283,6 +319,9 @@ func run(args []string) error {
 		}
 	}
 
+	if *resume {
+		return compressDurable(in, out, params, *segment, *commitEach, *showStats, openInput)
+	}
 	if *stream {
 		return compressStream(in, out, params, *segment, *showStats, openInput, openOutput)
 	}
@@ -358,6 +397,75 @@ type nopWriteCloser struct{ io.Writer }
 
 func (nopWriteCloser) Close() error { return nil }
 
+// atomicOutput accumulates the destination in a hidden temp file in the
+// same directory and renames it into place on Close, so the destination
+// path either holds the previous content or the complete new content —
+// never a truncated mix.
+type atomicOutput struct {
+	f    *os.File
+	path string
+	done bool
+}
+
+func newAtomicOutput(path string) (*atomicOutput, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return nil, err
+	}
+	// CreateTemp's 0600 is for secrets; match what os.Create would have
+	// produced.
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, err
+	}
+	return &atomicOutput{f: f, path: path}, nil
+}
+
+func (a *atomicOutput) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+// Close commits: fsync, close, rename into place.
+func (a *atomicOutput) Close() error {
+	if a.done {
+		return nil
+	}
+	a.done = true
+	if err := a.f.Sync(); err != nil {
+		a.f.Close()
+		os.Remove(a.f.Name())
+		return err
+	}
+	if err := a.f.Close(); err != nil {
+		os.Remove(a.f.Name())
+		return err
+	}
+	return os.Rename(a.f.Name(), a.path)
+}
+
+// Abort discards the temp file; the destination path is untouched.
+func (a *atomicOutput) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	a.f.Close()
+	os.Remove(a.f.Name())
+}
+
+// abortOutput discards an output opened through openOutput without
+// committing it (a no-op close for stdout).
+func abortOutput(w io.WriteCloser) {
+	if a, ok := w.(*atomicOutput); ok {
+		a.Abort()
+		return
+	}
+	_ = w.Close()
+}
+
 // countingWriter counts bytes passed through to the underlying writer.
 type countingWriter struct {
 	w io.Writer
@@ -392,10 +500,11 @@ func compressStream(in, out string, params core.Params, segment int, showStats b
 	if cerr := w.Close(); err == nil {
 		err = cerr
 	}
-	if cerr := dst.Close(); err == nil {
-		err = cerr
-	}
 	if err != nil {
+		abortOutput(dst)
+		return err
+	}
+	if err := dst.Close(); err != nil {
 		return err
 	}
 	if showStats {
@@ -409,6 +518,71 @@ func compressStream(in, out string, params core.Params, segment int, showStats b
 				st.Segments, st.Retries, st.Degraded, st.Redispatched, st.TimedOut, st.BreakerOpens, st.Quarantined)
 		}
 		printHealth(params.Health)
+	}
+	return nil
+}
+
+// compressDurable runs -resume: compression through the crash-safe
+// durable layer. Output accumulates in durable.PartialPath(out) with
+// frame-boundary fsyncs; when a partial from an interrupted run exists
+// it is scanned, truncated to the last verifiable frame, and continued —
+// the already-covered input prefix is skipped, so the finished file
+// matches an uninterrupted run byte for byte.
+func compressDurable(in, out string, params core.Params, segment, commitEvery int, showStats bool,
+	openInput func() (io.ReadCloser, error)) error {
+	if out == "-" {
+		return fmt.Errorf("-resume needs a real output file, not stdout")
+	}
+	src, err := openInput()
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	start := time.Now()
+	opts := durable.Options{
+		CommitEverySegments: commitEvery,
+		Stream:              core.StreamOptions{SegmentSize: segment},
+	}
+	var (
+		w   *durable.Writer
+		rep *durable.TailReport
+	)
+	if _, serr := os.Stat(durable.PartialPath(out)); serr == nil {
+		w, rep, err = durable.Resume(out, params, opts)
+	} else {
+		w, err = durable.Create(out, params, opts)
+	}
+	if err != nil {
+		return err
+	}
+	var resumedBytes int64
+	if rep != nil {
+		resumedBytes = int64(rep.TotalLen)
+		fmt.Fprintf(os.Stderr, "culzss: resuming %s: %d segment(s) / %s verified, %s unverifiable tail dropped\n",
+			out, rep.NextIndex, stats.FormatBytes(int64(rep.TotalLen)), stats.FormatBytes(rep.Truncated))
+		if rep.Complete {
+			// The interrupted run had already finished; Resume renamed it.
+			return nil
+		}
+		// The surviving frames already cover this input prefix.
+		if _, err := io.CopyN(io.Discard, src, resumedBytes); err != nil {
+			_ = w.Abort()
+			return fmt.Errorf("skipping the already-compressed input prefix: %w", err)
+		}
+	}
+	n, err := io.Copy(w, src)
+	if err != nil {
+		_ = w.Abort() // keep the partial: the next -resume run continues it
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	if showStats {
+		st := w.Stats()
+		fmt.Fprintf(os.Stderr, "%s: %s compressed durably (+%s resumed) in %v; %d segment(s) written, %d committed, %d inherited\n",
+			in, stats.FormatBytes(n), stats.FormatBytes(resumedBytes),
+			time.Since(start).Round(time.Millisecond), st.Segments, st.Committed, st.Resumed)
 	}
 	return nil
 }

@@ -6,10 +6,17 @@
 // A toy stencil simulation evolves a 2-D grid; every k steps the state is
 // serialised the way visualization dumps usually are — quantised to
 // 16-bit fixed point, stored as byte planes (all high bytes, then all low
-// bytes) so the smooth plane compresses — then compressed with automatic
-// version selection and written to a checkpoint directory. At the end the
-// example restores the last checkpoint, verifies the codec round trip is
-// lossless, and resumes the simulation from it.
+// bytes) so the smooth plane compresses — then written as a framed CLZS
+// stream through the crash-safe durable layer (internal/durable): bytes
+// accumulate in a ".partial" file with frame-boundary fsyncs and the
+// final name appears atomically on completion.
+//
+// The last dump is deliberately killed mid-write with an injected torn
+// write — the crash a checkpointing application actually fears. The
+// example then does what a restarted application would do: durable.Resume
+// scans the wreck, truncates to the last verifiable frame, and continues
+// the same stream; the finished checkpoint decodes bit-identically, and
+// the simulation restarts from it.
 //
 // Run with:
 //
@@ -17,15 +24,19 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"os"
 	"path/filepath"
 
 	"culzss/internal/core"
+	"culzss/internal/durable"
+	"culzss/internal/faults"
 	"culzss/internal/stats"
 )
 
@@ -34,6 +45,7 @@ const (
 	steps          = 60
 	checkpointEach = 15
 	quantScale     = 8192 // 16-bit fixed point, |v| < 4
+	segmentSize    = 32 << 10
 )
 
 type sim struct {
@@ -98,15 +110,53 @@ func restore(data []byte) *sim {
 	return s
 }
 
+// dump writes one checkpoint through the durable layer. p may carry an
+// armed injector to crash the write mid-stream; the error comes back for
+// the caller to react to the way a restarted application would.
+func dump(path string, state []byte, p core.Params) (*durable.Writer, error) {
+	w, err := durable.Create(path, p, durable.Options{
+		CommitEverySegments: 2,
+		Stream:              core.StreamOptions{SegmentSize: segmentSize},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(state); err != nil {
+		_ = w.Abort() // the partial stays on disk for Resume
+		return w, err
+	}
+	if err := w.Close(); err != nil {
+		return w, err
+	}
+	return w, nil
+}
+
+// decodeCheckpoint reads a finished framed checkpoint back.
+func decodeCheckpoint(path string, p core.Params) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := core.NewReader(bufio.NewReader(f), p)
+	if err != nil {
+		return nil, err
+	}
+	return io.ReadAll(r)
+}
+
 func main() {
 	dir, err := os.MkdirTemp("", "culzss-checkpoint-*")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	fmt.Printf("checkpointing a %dx%d grid (16-bit quantised planes) every %d steps into %s\n\n",
+	fmt.Printf("checkpointing a %dx%d grid (16-bit quantised planes) every %d steps into %s\n",
 		gridW, gridH, checkpointEach, dir)
+	fmt.Printf("durable framed dumps: %d KiB segments, fsync every 2 frames, atomic rename on completion\n\n",
+		segmentSize>>10)
 
+	p := core.Params{Version: core.Version1}
 	s := newSim()
 	var lastCheckpoint string
 	var lastState []byte
@@ -116,28 +166,60 @@ func main() {
 			continue
 		}
 		state := s.serialize()
-		version := core.SelectVersion(state)
-		comp, err := core.Compress(state, core.Params{Version: version})
+		path := filepath.Join(dir, fmt.Sprintf("step%04d.clzs", s.step))
+
+		if s.step+checkpointEach > steps {
+			// The final dump gets "killed" two thirds of the way through:
+			// the injector tears the write exactly as a crashed process
+			// would, leaving only the .partial file.
+			crashAt := int64(len(lastState)) / 3 // well inside the stream
+			pc := p
+			pc.Injector = faults.New(7).TornWriteAt(crashAt)
+			w, err := dump(path, state, pc)
+			if err == nil {
+				log.Fatal("the injected crash never fired")
+			}
+			st := w.Stats()
+			fmt.Printf("step %3d: KILLED mid-dump after ~%s on disk (%d/%d frames committed)\n",
+				s.step, stats.FormatBytes(crashAt), st.Committed, st.Segments)
+
+			// A restarted application resumes the wreck: scan, truncate to
+			// the last verifiable frame, continue the same stream.
+			rw, rep, err := durable.Resume(path, p, durable.Options{
+				CommitEverySegments: 2,
+				Stream:              core.StreamOptions{SegmentSize: segmentSize},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("          resume: %d frame(s) / %s verified, %s unverifiable tail dropped\n",
+				rep.NextIndex, stats.FormatBytes(int64(rep.TotalLen)), stats.FormatBytes(rep.Truncated))
+			if _, err := rw.Write(state[rep.TotalLen:]); err != nil {
+				log.Fatal(err)
+			}
+			if err := rw.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("          resume: stream completed (%d new frame(s), %d inherited)\n",
+				rw.Stats().Segments, rw.Stats().Resumed)
+		} else if _, err := dump(path, state, p); err != nil {
+			log.Fatal(err)
+		}
+
+		fi, err := os.Stat(path)
 		if err != nil {
 			log.Fatal(err)
 		}
-		path := filepath.Join(dir, fmt.Sprintf("step%04d.clz", s.step))
-		if err := os.WriteFile(path, comp, 0o644); err != nil {
-			log.Fatal(err)
-		}
 		lastCheckpoint, lastState = path, state
-		fmt.Printf("step %3d: state %s -> checkpoint %s (ratio %s, version %v)\n",
-			s.step, stats.FormatBytes(int64(len(state))), stats.FormatBytes(int64(len(comp))),
-			stats.RatioPercent(len(comp), len(state)), version)
+		fmt.Printf("step %3d: state %s -> checkpoint %s (ratio %s)\n",
+			s.step, stats.FormatBytes(int64(len(state))), stats.FormatBytes(fi.Size()),
+			stats.RatioPercent(int(fi.Size()), len(state)))
 	}
 
-	// Restore the last checkpoint: the codec must be lossless against the
-	// serialized state, and the simulation must resume from it.
-	comp, err := os.ReadFile(lastCheckpoint)
-	if err != nil {
-		log.Fatal(err)
-	}
-	state, err := core.Decompress(comp, core.Params{})
+	// Restore the last checkpoint — the one that crashed and was resumed.
+	// The codec must be lossless against the serialized state despite the
+	// torn write, and the simulation must restart from it.
+	state, err := decodeCheckpoint(lastCheckpoint, p)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -148,6 +230,6 @@ func main() {
 	for i := 0; i < 5; i++ {
 		restarted.tick()
 	}
-	fmt.Printf("\nrestored %s losslessly at step %d and resumed to step %d\n",
+	fmt.Printf("\nrestored %s losslessly at step %d (post-crash) and resumed to step %d\n",
 		filepath.Base(lastCheckpoint), int(binary.LittleEndian.Uint64(state)), restarted.step)
 }

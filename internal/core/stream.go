@@ -134,6 +134,14 @@ type StreamOptions struct {
 	// stream trades latency for completeness, never the reverse.
 	// 0 disables the per-segment deadline.
 	SegmentDeadline time.Duration
+	// Resume, when non-nil, continues an existing framed stream instead of
+	// starting one: the Writer skips the stream header, numbers its first
+	// segment NextIndex, and folds Total/CRC into the trailer so the final
+	// stream is indistinguishable from an uninterrupted run. The caller
+	// owns the file surgery (truncating to a verified frame boundary and
+	// positioning dst there — see internal/durable); SegmentSize must
+	// match the original stream's.
+	Resume *ResumeState
 	// DrainOnCancel selects graceful drain: when Context is cancelled,
 	// Write stops admitting new data (it returns the context's error as
 	// before) but every segment already accepted — in flight or buffered
@@ -142,6 +150,21 @@ type StreamOptions struct {
 	// bytes. Without it, cancellation abandons in-flight work and Close
 	// reports the context's error.
 	DrainOnCancel bool
+}
+
+// ResumeState carries the stream position a resumed Writer continues
+// from. It is what durable.ScanTail recovers from an interrupted file:
+// the index the next segment frame must carry, the plaintext bytes
+// already represented by the surviving frames, and the incremental
+// CRC-32 (format.Checksum32Update state) over that plaintext.
+type ResumeState struct {
+	// NextIndex is the index of the next segment frame to emit — the
+	// number of complete frames already on disk.
+	NextIndex int
+	// Total is the plaintext byte count covered by the surviving frames.
+	Total int
+	// CRC is the running plaintext CRC-32 over those Total bytes.
+	CRC uint32
 }
 
 // RetryPolicy bounds how hard the Writer fights for a segment before
@@ -200,6 +223,14 @@ type WriterStats struct {
 	// encoder after exhausting their GPU attempts (or, supervised, after
 	// the whole pool was quarantined or the segment deadline expired).
 	Degraded int
+	// Resumed is the number of segment frames inherited from an
+	// interrupted stream (StreamOptions.Resume's NextIndex); 0 for a
+	// fresh stream.
+	Resumed int
+	// Committed is the number of segment frames known to have reached
+	// stable storage. The core Writer never fsyncs, so it reports 0; the
+	// durable layer fills it in.
+	Committed int
 	// TimedOut counts watchdog-cut device operations; Redispatched counts
 	// work re-routed to a sibling device after a failure; BreakerOpens
 	// counts circuit-breaker Open transitions; Quarantined is the number
@@ -329,6 +360,12 @@ func NewWriterOptions(dst io.Writer, p Params, o StreamOptions) *Writer {
 	if p.Health != nil {
 		w.healthBase = p.Health.Snapshot()
 	}
+	if r := o.Resume; r != nil {
+		w.index = r.NextIndex
+		w.total = r.Total
+		w.crc = r.CRC
+		w.wstats.Resumed = r.NextIndex
+	}
 	w.bufPool.New = func() any { return make([]byte, 0, w.segSize) }
 	return w
 }
@@ -367,8 +404,12 @@ func (w *Writer) start() {
 		return
 	}
 	w.started = true
-	if _, err := format.WriteStreamHeader(w.dst, w.segSize); err != nil {
-		w.setErr(fmt.Errorf("core: writing stream header: %w", err))
+	// A resumed stream already carries its header; emitting another would
+	// corrupt it mid-stream.
+	if w.opts.Resume == nil {
+		if _, err := format.WriteStreamHeader(w.dst, w.segSize); err != nil {
+			w.setErr(fmt.Errorf("core: writing stream header: %w", err))
+		}
 	}
 	// pending's capacity is the admission bound (StreamOptions.MaxInFlight,
 	// default HostWorkers): at most cap(pending)+1 segments exist

@@ -41,7 +41,7 @@ func TestWriterMetricsReconcileUnderChaos(t *testing.T) {
 	flaky := cudasim.FermiGTX480()
 	flaky.LaunchHook = faults.New(testSeed(7)).FailProb(faults.SiteLaunch, 0.4).LaunchHook()
 	sticky := cudasim.FermiGTX480()
-	sticky.LaunchHook = faults.New(testSeed(7) + 1).HangFirst(faults.SiteLaunch, 2, time.Hour).LaunchHook()
+	sticky.LaunchHook = faults.New(testSeed(7)+1).HangFirst(faults.SiteLaunch, 2, time.Hour).LaunchHook()
 
 	reg := obs.NewRegistry()
 	sup := health.NewSupervisor([]health.DeviceSlot{

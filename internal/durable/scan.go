@@ -1,0 +1,202 @@
+// Tail scanning and resume: recovering the longest verifiable prefix of
+// an interrupted CLZS stream and continuing it in place.
+package durable
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"culzss/internal/core"
+	"culzss/internal/format"
+)
+
+// TailReport is what ScanTail recovers from an interrupted stream: the
+// last byte offset up to which every record verifies, and the stream
+// state (index, plaintext length, incremental CRC) a resumed writer
+// needs to continue it.
+type TailReport struct {
+	// HeaderOK reports that the stream header parsed. When false the
+	// file holds no usable prefix (empty, or cut inside the header) and
+	// resume starts the stream over.
+	HeaderOK bool
+	// SegmentSize is the segment size from the header, which a resumed
+	// writer must reuse.
+	SegmentSize int
+	// LastGoodOffset is the offset just past the last fully verified
+	// record. Everything after it is unverifiable and must be truncated.
+	LastGoodOffset int64
+	// NextIndex is the index the next segment frame must carry.
+	NextIndex int
+	// TotalLen is the plaintext byte count the verified frames decode to.
+	TotalLen int
+	// CRC is the running plaintext CRC-32 over those TotalLen bytes.
+	CRC uint32
+	// Complete reports the stream already ends with a verified trailer —
+	// nothing was lost; the file only needs finalizing.
+	Complete bool
+	// Truncated is the number of unverifiable tail bytes
+	// (fileSize - LastGoodOffset).
+	Truncated int64
+	// Cause is the parse or verification error that ended the scan for
+	// an incomplete stream; nil when Complete.
+	Cause error
+}
+
+// ResumeState converts the report into the core.Writer hook.
+func (t *TailReport) ResumeState() *core.ResumeState {
+	return &core.ResumeState{NextIndex: t.NextIndex, Total: t.TotalLen, CRC: t.CRC}
+}
+
+// countReader counts consumed bytes and exposes io.ByteReader so the
+// frame reader uses it directly — n is then the exact stream offset of
+// the parse position, with no buffered over-read hidden inside the
+// decoder.
+type countReader struct {
+	r *bufio.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
+
+// ScanTail walks an interrupted (possibly trailer-less) framed stream
+// from the start, fully verifying each record — frame CRC, decode, raw
+// length — and reports the last good offset plus the stream state at it.
+// Damage or truncation anywhere in the tail is expected and lands in the
+// report's Cause, not the returned error; the error is reserved for
+// files that are not a CLZS stream at all (bad magic, wrong version) and
+// for I/O failures, where "truncate and resume" would destroy data the
+// caller never meant to treat as a resumable stream.
+func ScanTail(r io.ReadSeeker, p core.Params) (*TailReport, error) {
+	size, err := r.Seek(0, io.SeekEnd)
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	cr := &countReader{r: bufio.NewReader(r)}
+	fr, err := format.NewFrameReader(cr)
+	if err != nil {
+		if errors.Is(err, format.ErrTruncated) {
+			// Cut inside the header: no usable prefix, start over.
+			return &TailReport{Truncated: size, Cause: err}, nil
+		}
+		return nil, err
+	}
+	rep := &TailReport{HeaderOK: true, SegmentSize: fr.SegmentSize, LastGoodOffset: cr.n}
+	for {
+		seg, trailer, err := fr.Next()
+		if err != nil {
+			rep.Cause = err
+			break
+		}
+		if trailer != nil {
+			if trailer.Checksum != rep.CRC {
+				rep.Cause = fmt.Errorf("%w: trailer stream CRC %08x, frames decode to %08x",
+					format.ErrCorrupt, trailer.Checksum, rep.CRC)
+				break
+			}
+			rep.Complete = true
+			rep.LastGoodOffset = cr.n
+			break
+		}
+		raw, err := core.Decompress(seg.Container, p)
+		if err != nil {
+			rep.Cause = fmt.Errorf("durable: segment %d does not decode: %w", seg.Index, err)
+			break
+		}
+		if len(raw) != seg.RawLen {
+			rep.Cause = fmt.Errorf("durable: segment %d decodes to %d bytes, frame claims %d",
+				seg.Index, len(raw), seg.RawLen)
+			break
+		}
+		rep.CRC = format.Checksum32Update(rep.CRC, raw)
+		rep.TotalLen += len(raw)
+		rep.NextIndex++
+		rep.LastGoodOffset = cr.n
+	}
+	rep.Truncated = size - rep.LastGoodOffset
+	return rep, nil
+}
+
+// Resume continues an interrupted durable stream: it scans
+// PartialPath(path), truncates to the last verifiable frame boundary,
+// and returns a Writer that appends to the same stream — the eventual
+// file is byte-equivalent in decoded content (and trailer CRC) to an
+// uninterrupted run over the same input.
+//
+// Three shapes come back:
+//   - The partial holds a complete stream (the crash hit between trailer
+//     and rename): Resume finalizes it and returns (nil, report, nil) —
+//     there is nothing left to write.
+//   - The partial has a usable prefix: the returned Writer continues it;
+//     the caller must skip the first report.TotalLen bytes of its input
+//     (they are already compressed) and Write the remainder.
+//   - The partial has no usable prefix (cut inside the header): the
+//     returned Writer starts the stream over; report.TotalLen is 0.
+//
+// Params must match the original run where output bytes are concerned
+// (Version, Window...); Options may change the commit cadence, but the
+// segment size is taken from the partial's header, overriding
+// o.Stream.SegmentSize.
+func Resume(path string, p core.Params, o Options) (*Writer, *TailReport, error) {
+	f, err := os.OpenFile(PartialPath(path), os.O_RDWR, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	rep, err := ScanTail(f, p)
+	if err != nil {
+		_ = f.Close()
+		return nil, nil, err
+	}
+	met := newDurableMetrics(p.Obs)
+	met.resumes.Inc()
+	met.resumeTruncated.Add(rep.Truncated)
+	if err := f.Truncate(rep.LastGoodOffset); err != nil {
+		_ = f.Close()
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	if _, err := f.Seek(rep.LastGoodOffset, io.SeekStart); err != nil {
+		_ = f.Close()
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+
+	if rep.Complete {
+		// The stream finished; only the rename was lost. Finalize it.
+		cw := newCommitWriter(f, p, o, format.NewBoundaryScanner())
+		cw.seed(rep.LastGoodOffset, rep.NextIndex)
+		if err := cw.finalize(path); err != nil {
+			return nil, rep, err
+		}
+		return nil, rep, nil
+	}
+
+	var scan *format.BoundaryScanner
+	if rep.HeaderOK {
+		o.Stream.SegmentSize = rep.SegmentSize
+		o.Stream.Resume = rep.ResumeState()
+		scan = format.ResumeBoundaryScanner(rep.LastGoodOffset, rep.NextIndex)
+	} else {
+		// Nothing recoverable: restart the stream in the same partial.
+		o.Stream.Resume = nil
+		scan = format.NewBoundaryScanner()
+	}
+	cw := newCommitWriter(f, p, o, scan)
+	cw.seed(rep.LastGoodOffset, rep.NextIndex)
+	return &Writer{w: core.NewWriterOptions(cw, p, o.Stream), cw: cw, path: path}, rep, nil
+}

@@ -115,6 +115,23 @@ type rule struct {
 	hangFirst int
 }
 
+// decide evaluates the fire rules for one probe: whether it faults and
+// whether the fault models a transient condition. Callers hold the
+// injector mutex (the probabilistic rule draws from the shared generator).
+func (r rule) decide(attempt int, rng *rand.Rand) (fire, transient bool) {
+	switch {
+	case r.always:
+		return true, false
+	case r.failFirst > 0:
+		return attempt <= r.failFirst, true
+	case r.every > 0:
+		return attempt%r.every == 0, true
+	case r.prob > 0:
+		return rng.Float64() < r.prob, true
+	}
+	return false, false
+}
+
 // Counts summarises a site's probe history.
 type Counts struct {
 	// Attempts is how many times the site was probed.
@@ -133,6 +150,13 @@ type Injector struct {
 	rules    map[Site]rule
 	attempts map[Site]int
 	injected map[Site]int
+
+	// SiteWrite offset rules (see io.go): the torn-write and byte-budget
+	// cut points, and whether a firing SiteWrite probe tears the write in
+	// half instead of dropping it whole.
+	wTorn, wErrAfter       int64
+	wTornSet, wErrAfterSet bool
+	wShort                 bool
 }
 
 // New returns an injector with no rules (it injects nothing until a rule
@@ -246,17 +270,7 @@ func (in *Injector) FaultCtx(ctx context.Context, site Site) error {
 		in.mu.Unlock()
 		return nil
 	}
-	var fire, transient bool
-	switch {
-	case r.always:
-		fire, transient = true, false
-	case r.failFirst > 0:
-		fire, transient = attempt <= r.failFirst, true
-	case r.every > 0:
-		fire, transient = attempt%r.every == 0, true
-	case r.prob > 0:
-		fire, transient = in.rng.Float64() < r.prob, true
-	}
+	fire, transient := r.decide(attempt, in.rng)
 	if fire {
 		in.injected[site]++
 	}

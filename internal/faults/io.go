@@ -1,0 +1,177 @@
+// I/O fault injection: torn writes, byte-budget write failures, short
+// writes, and fsync failures — the crash shapes a durable stream layer
+// (internal/durable) must survive. A process that dies mid-write leaves
+// the destination file with an arbitrary prefix of the bytes it meant to
+// write; a power cut additionally loses writes that were never fsynced.
+// The SiteWrite rules model the first class by cutting an io.Writer at a
+// controlled point, and SiteSync (probed by the durable layer before each
+// fsync) models the second.
+//
+// The offset rules (TornWriteAt, ErrAfterNBytes) are deterministic cut
+// points independent of the seeded fire rules; ShortWrites composes with
+// the fire rules (FailFirst/FailEvery/FailProb/Always on SiteWrite) so a
+// scheduled or probabilistic probe tears the write it fires on. All three
+// report through Counts(SiteWrite) like any other site, and the nil
+// injector stays inert: WrapWriter on a nil *Injector returns the writer
+// unchanged.
+package faults
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// The I/O injection sites.
+const (
+	// SiteWrite fires per Write call on writers wrapped with WrapWriter
+	// (a torn or failed write on the way to stable storage).
+	SiteWrite Site = "write"
+	// SiteSync fires per fsync the durable layer attempts; arm it with
+	// the ordinary fire rules (FailFirst, Always, ...) to model an fsync
+	// that reports failure, leaving the commit point unknown.
+	SiteSync Site = "sync"
+)
+
+// TornWriteAt arms SiteWrite so the write crossing absolute output offset
+// off is torn there: bytes before off reach the underlying writer, the
+// rest vanish, and the call returns a persistent *Fault. Every later
+// write fails too (after a torn write the process is presumed dead), so
+// the wrapped writer ends holding exactly off bytes — the classic torn
+// page. Offsets are counted per wrapped writer, from its first byte.
+func (in *Injector) TornWriteAt(off int64) *Injector {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	in.wTorn, in.wTornSet = off, true
+	in.mu.Unlock()
+	return in
+}
+
+// ErrAfterNBytes arms SiteWrite with a byte budget: writes pass through
+// untouched until n total bytes have been written, and the first call
+// that would exceed the budget fails whole (no bytes of it land) with a
+// persistent *Fault, as do all later calls. Unlike TornWriteAt the cut is
+// at a Write-call boundary — the crash landed between writes, not inside
+// one.
+func (in *Injector) ErrAfterNBytes(n int64) *Injector {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	in.wErrAfter, in.wErrAfterSet = n, true
+	in.mu.Unlock()
+	return in
+}
+
+// ShortWrites arms the short-write mode: when a SiteWrite fire rule
+// (FailFirst, FailEvery, FailProb, Always — armed separately) fires on a
+// wrapped write, the write is torn in half (the first half lands, the
+// rest is dropped) instead of failing whole. Without a fire rule armed,
+// ShortWrites alone injects nothing.
+func (in *Injector) ShortWrites() *Injector {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	in.wShort = true
+	in.mu.Unlock()
+	return in
+}
+
+// WrapWriter wraps w with the SiteWrite rules. Every Write call probes
+// SiteWrite once (so Counts reports attempts and injected tears); with no
+// write rules armed the wrapper forwards untouched. A nil injector
+// returns w unchanged.
+func (in *Injector) WrapWriter(w io.Writer) io.Writer {
+	if in == nil {
+		return w
+	}
+	return &faultWriter{in: in, w: w}
+}
+
+// writeDecision is the outcome of one SiteWrite probe.
+type writeDecision struct {
+	keep   int    // bytes of the call to pass through to the real writer
+	fault  *Fault // nil = the call passes untouched
+	sticky bool   // every later call fails too (the process "died")
+}
+
+// writeProbe makes the SiteWrite decision for one Write call of n bytes
+// at absolute wrapper offset off. dead marks a wrapper already killed by
+// a sticky rule — the probe still counts, modeling writes attempted after
+// the cut.
+func (in *Injector) writeProbe(off int64, n int, dead bool) writeDecision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.attempts[SiteWrite]++
+	attempt := in.attempts[SiteWrite]
+	if dead {
+		in.injected[SiteWrite]++
+		return writeDecision{fault: &Fault{Site: SiteWrite, Attempt: attempt}, sticky: true}
+	}
+	if in.wTornSet && off+int64(n) > in.wTorn {
+		keep := int(in.wTorn - off)
+		if keep < 0 {
+			keep = 0
+		}
+		in.injected[SiteWrite]++
+		return writeDecision{keep: keep, fault: &Fault{Site: SiteWrite, Attempt: attempt}, sticky: true}
+	}
+	if in.wErrAfterSet && off+int64(n) > in.wErrAfter {
+		in.injected[SiteWrite]++
+		return writeDecision{fault: &Fault{Site: SiteWrite, Attempt: attempt}, sticky: true}
+	}
+	if r, ok := in.rules[SiteWrite]; ok {
+		if fire, transient := r.decide(attempt, in.rng); fire {
+			in.injected[SiteWrite]++
+			keep := 0
+			if in.wShort {
+				keep = n / 2
+			}
+			return writeDecision{keep: keep, fault: &Fault{Site: SiteWrite, Attempt: attempt, Transient: transient}}
+		}
+	}
+	return writeDecision{keep: n}
+}
+
+// faultWriter applies the SiteWrite rules to one wrapped writer. Offsets
+// count bytes that actually reached the underlying writer through this
+// wrapper.
+type faultWriter struct {
+	in *Injector
+	w  io.Writer
+
+	mu   sync.Mutex
+	off  int64
+	dead error
+}
+
+// Write implements io.Writer under the armed rules.
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	d := fw.in.writeProbe(fw.off, len(p), fw.dead != nil)
+	if fw.dead != nil {
+		return 0, fw.dead
+	}
+	n := 0
+	if d.keep > 0 {
+		var err error
+		n, err = fw.w.Write(p[:d.keep])
+		fw.off += int64(n)
+		if err != nil {
+			return n, err // a real underlying failure outranks the injected one
+		}
+	}
+	if d.fault == nil {
+		return n, nil
+	}
+	err := fmt.Errorf("faults: write cut at offset %d (%d of %d bytes landed): %w",
+		fw.off, n, len(p), d.fault)
+	if d.sticky {
+		fw.dead = err
+	}
+	return n, err
+}

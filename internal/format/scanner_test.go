@@ -1,0 +1,170 @@
+package format
+
+import (
+	"bytes"
+	"testing"
+)
+
+// buildScanStream assembles a header + n segment frames (+ optional
+// trailer) and returns the bytes plus the record-boundary offsets in
+// order (offset just past the header, past each frame, past the trailer).
+func buildScanStream(t *testing.T, n int, withTrailer bool) ([]byte, []int64) {
+	t.Helper()
+	var buf bytes.Buffer
+	var bounds []int64
+	if _, err := WriteStreamHeader(&buf, 4096); err != nil {
+		t.Fatal(err)
+	}
+	bounds = append(bounds, int64(buf.Len()))
+	total := 0
+	for i := 0; i < n; i++ {
+		container := bytes.Repeat([]byte{byte('a' + i)}, 50+i*13)
+		if _, err := WriteSegmentFrame(&buf, i, 100+i, container); err != nil {
+			t.Fatal(err)
+		}
+		total += 100 + i
+		bounds = append(bounds, int64(buf.Len()))
+	}
+	if withTrailer {
+		tr := &StreamTrailer{Segments: n, TotalLen: total, Checksum: 0xdeadbeef}
+		if _, err := WriteStreamTrailer(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, int64(buf.Len()))
+	}
+	return buf.Bytes(), bounds
+}
+
+func TestBoundaryScannerFullStream(t *testing.T) {
+	data, bounds := buildScanStream(t, 3, true)
+	s := NewBoundaryScanner()
+	if n, err := s.Write(data); n != len(data) || err != nil {
+		t.Fatalf("Write = (%d, %v), want (%d, nil)", n, err, len(data))
+	}
+	if s.GoodOffset() != int64(len(data)) {
+		t.Fatalf("GoodOffset = %d, want %d", s.GoodOffset(), len(data))
+	}
+	if s.Records() != 3 {
+		t.Fatalf("Records = %d, want 3", s.Records())
+	}
+	if !s.TrailerDone() {
+		t.Fatal("TrailerDone = false after a complete stream")
+	}
+	_ = bounds
+}
+
+func TestBoundaryScannerByteAtATime(t *testing.T) {
+	// Feeding one byte per Write call must land on exactly the same
+	// boundaries as one big call: GoodOffset only ever equals a real
+	// record boundary.
+	data, bounds := buildScanStream(t, 3, true)
+	isBound := map[int64]bool{0: true}
+	for _, b := range bounds {
+		isBound[b] = true
+	}
+	s := NewBoundaryScanner()
+	for i := range data {
+		if _, err := s.Write(data[i : i+1]); err != nil {
+			t.Fatalf("byte %d: %v", i, err)
+		}
+		if !isBound[s.GoodOffset()] {
+			t.Fatalf("after byte %d GoodOffset = %d, not a record boundary", i, s.GoodOffset())
+		}
+		if s.Offset() != int64(i+1) {
+			t.Fatalf("after byte %d Offset = %d", i, s.Offset())
+		}
+	}
+	if !s.TrailerDone() || s.Records() != 3 {
+		t.Fatalf("end state: trailer=%v records=%d", s.TrailerDone(), s.Records())
+	}
+}
+
+func TestBoundaryScannerTruncationPoints(t *testing.T) {
+	// For every possible truncation length, GoodOffset must be the
+	// greatest record boundary ≤ the cut.
+	data, bounds := buildScanStream(t, 3, true)
+	for cut := 0; cut <= len(data); cut++ {
+		want := int64(0)
+		for _, b := range bounds {
+			if b <= int64(cut) {
+				want = b
+			}
+		}
+		s := NewBoundaryScanner()
+		if _, err := s.Write(data[:cut]); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if s.GoodOffset() != want {
+			t.Fatalf("cut %d: GoodOffset = %d, want %d", cut, s.GoodOffset(), want)
+		}
+	}
+}
+
+func TestBoundaryScannerResume(t *testing.T) {
+	data, bounds := buildScanStream(t, 4, true)
+	// Resume at the boundary after frame 1 (bounds[0] is the header).
+	off, records := bounds[2], 2
+	s := ResumeBoundaryScanner(off, records)
+	if _, err := s.Write(data[off:]); err != nil {
+		t.Fatal(err)
+	}
+	if s.GoodOffset() != int64(len(data)) || s.Records() != 4 || !s.TrailerDone() {
+		t.Fatalf("resumed scan: good=%d records=%d trailer=%v",
+			s.GoodOffset(), s.Records(), s.TrailerDone())
+	}
+}
+
+func TestBoundaryScannerRejectsStructuralViolations(t *testing.T) {
+	valid, bounds := buildScanStream(t, 2, true)
+
+	t.Run("bad magic", func(t *testing.T) {
+		s := NewBoundaryScanner()
+		if _, err := s.Write([]byte("XLZS")); err == nil {
+			t.Fatal("bad magic accepted")
+		}
+	})
+	t.Run("unknown marker", func(t *testing.T) {
+		s := NewBoundaryScanner()
+		bad := append(append([]byte{}, valid[:bounds[0]]...), 0x7f)
+		if _, err := s.Write(bad); err == nil {
+			t.Fatal("unknown frame marker accepted")
+		}
+		// The error is sticky.
+		if _, err := s.Write([]byte{0}); err == nil {
+			t.Fatal("scanner not sticky after a structural error")
+		}
+	})
+	t.Run("out-of-order index", func(t *testing.T) {
+		var frame bytes.Buffer
+		if _, err := WriteSegmentFrame(&frame, 5, 10, []byte("xxxxxxxxxx")); err != nil {
+			t.Fatal(err)
+		}
+		s := NewBoundaryScanner()
+		bad := append(append([]byte{}, valid[:bounds[0]]...), frame.Bytes()...)
+		if _, err := s.Write(bad); err == nil {
+			t.Fatal("out-of-order segment index accepted")
+		}
+	})
+	t.Run("byte after trailer", func(t *testing.T) {
+		s := NewBoundaryScanner()
+		if _, err := s.Write(valid); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Write([]byte{0}); err == nil {
+			t.Fatal("trailing garbage accepted")
+		}
+	})
+	t.Run("trailer segment mismatch", func(t *testing.T) {
+		var buf bytes.Buffer
+		if _, err := WriteStreamHeader(&buf, 4096); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := WriteStreamTrailer(&buf, &StreamTrailer{Segments: 3, TotalLen: 0}); err != nil {
+			t.Fatal(err)
+		}
+		s := NewBoundaryScanner()
+		if _, err := s.Write(buf.Bytes()); err == nil {
+			t.Fatal("trailer with wrong segment count accepted")
+		}
+	})
+}

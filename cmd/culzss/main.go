@@ -136,7 +136,8 @@ func run(args []string) error {
 		profile    = fs.Bool("profile", false, "print the kernel profiler breakdown to stderr (GPU versions)")
 		stream     = fs.Bool("stream", false, "framed streaming mode: bounded memory, suitable for pipes of any size")
 		segment    = fs.Int("segment", 0, "segment size in bytes for -stream (0 = 1 MiB)")
-		salvage    = fs.Bool("salvage", false, "with -d: best-effort decode of a damaged framed stream, skipping damaged segments")
+		salvage    = fs.Bool("salvage", false, "with -d: best-effort decode of a damaged framed stream, repairing damaged segments from parity frames when present and skipping what cannot be healed")
+		parity     = fs.String("parity", "", "with -stream or -resume: self-healing redundancy as K+M (e.g. 8+2) — after every K segment frames, M parity frames from which -d -salvage repairs up to M damaged frames per group")
 		resume     = fs.Bool("resume", false, "crash-safe compression: fsync at frame boundaries into <output>.partial and continue an interrupted run (implies -stream)")
 		commitEach = fs.Int("commit-every", 1, "with -resume: fsync cadence in segment frames")
 		gpuTimeout = fs.Duration("gpu-timeout", 0, "watchdog deadline per GPU dispatch; a hung kernel is cut and the work degrades to the CPU encoder (implies -degrade)")
@@ -236,6 +237,23 @@ func run(args []string) error {
 	if *resume && *decompress {
 		return fmt.Errorf("-resume applies to compression, not -d")
 	}
+	var parityCfg core.ParityConfig
+	if *parity != "" {
+		if *decompress {
+			return fmt.Errorf("-parity applies to compression; -d -salvage uses whatever parity the stream carries")
+		}
+		if !*stream && !*resume {
+			return fmt.Errorf("-parity needs -stream or -resume (parity frames live in framed streams)")
+		}
+		if n, err := fmt.Sscanf(*parity, "%d+%d", &parityCfg.K, &parityCfg.M); n != 2 || err != nil {
+			return fmt.Errorf("-parity wants K+M (e.g. 8+2), got %q", *parity)
+		}
+		if parityCfg.K < 1 || parityCfg.K > format.MaxParityK ||
+			parityCfg.M < 1 || parityCfg.M > format.MaxParityM {
+			return fmt.Errorf("-parity %q out of range: K in [1,%d], M in [1,%d]",
+				*parity, format.MaxParityK, format.MaxParityM)
+		}
+	}
 	if *decompress {
 		out := fs.Arg(1)
 		if out == "" {
@@ -256,12 +274,17 @@ func run(args []string) error {
 			return err
 		}
 		defer src.Close()
-		ropts := core.ReaderOptions{Salvage: *salvage}
+		// -salvage implies repair: when the stream carries parity frames,
+		// damage is healed bit-identically before skip is even considered.
+		ropts := core.ReaderOptions{Salvage: *salvage, Repair: *salvage}
 		if *salvage {
 			// Damage is reported as it is discovered, before the next
 			// intact segment is served.
 			ropts.OnCorrupt = func(cse *format.CorruptSegmentError) {
 				fmt.Fprintln(os.Stderr, "culzss: salvage:", cse)
+			}
+			ropts.OnRepair = func(rse *format.RepairedSegmentError) {
+				fmt.Fprintln(os.Stderr, "culzss: repair:", rse)
 			}
 		}
 		r, err := core.NewReaderOptions(src, params, ropts)
@@ -286,10 +309,28 @@ func run(args []string) error {
 			fmt.Fprintf(os.Stderr, "decompressed %s -> %s (%s) in %v\n", in, out,
 				stats.FormatBytes(n), time.Since(start).Round(time.Millisecond))
 		}
-		if damaged := r.CorruptSegments(); len(damaged) > 0 {
-			// Every recoverable byte was written; still fail loudly so the
-			// damage cannot pass unnoticed in scripts.
+		damaged, repaired := r.CorruptSegments(), r.RepairedSegments()
+		if *showStats && *salvage {
+			var skippedBytes int64
+			for _, cse := range damaged {
+				skippedBytes += cse.Skipped
+			}
+			fmt.Fprintf(os.Stderr, "salvage: {Repaired: %d, Skipped: %d, SkippedBytes: %s}\n",
+				len(repaired), len(damaged), stats.FormatBytes(skippedBytes))
+		}
+		if len(repaired) > 0 && len(damaged) == 0 {
+			// Every damaged region was healed bit-identically from parity:
+			// the output is complete and verified, so the run succeeds —
+			// the repairs were already reported on stderr above.
+			fmt.Fprintf(os.Stderr, "culzss: salvage: %d damaged region(s) fully repaired from parity; output is complete\n",
+				len(repaired))
+		}
+		if len(damaged) > 0 {
+			// Every recoverable byte was written; still fail loudly so real
+			// losses cannot pass unnoticed in scripts. Repaired regions do
+			// not count — only damage beyond the parity's reach is a loss.
 			regions, truncated := 0, false
+			var skippedBytes int64
 			for _, cse := range damaged {
 				// A region whose cause is truncation (the cut tail, or the
 				// missing-trailer marker) classifies the input as truncated;
@@ -299,13 +340,14 @@ func run(args []string) error {
 				} else {
 					regions++
 				}
+				skippedBytes += cse.Skipped
 			}
 			cause := error(format.ErrTruncated)
 			if regions > 0 {
 				cause = format.ErrCorrupt
 			}
-			return fmt.Errorf("salvage: recovered %s, but input had %d damaged region(s) (truncated: %v): %w",
-				stats.FormatBytes(n), regions, truncated, cause)
+			return fmt.Errorf("salvage: recovered %s, but input had %d damaged region(s) (%s skipped, truncated: %v, %d repaired): %w",
+				stats.FormatBytes(n), regions, stats.FormatBytes(skippedBytes), truncated, len(repaired), cause)
 		}
 		return nil
 	}
@@ -320,10 +362,10 @@ func run(args []string) error {
 	}
 
 	if *resume {
-		return compressDurable(in, out, params, *segment, *commitEach, *showStats, openInput)
+		return compressDurable(in, out, params, *segment, *commitEach, parityCfg, *showStats, openInput)
 	}
 	if *stream {
-		return compressStream(in, out, params, *segment, *showStats, openInput, openOutput)
+		return compressStream(in, out, params, *segment, parityCfg, *showStats, openInput, openOutput)
 	}
 
 	data, err := readInput()
@@ -482,7 +524,7 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // incrementally (never fully buffered), segments compress concurrently,
 // and the output is a self-describing framed stream that decompresses
 // through the ordinary -d path.
-func compressStream(in, out string, params core.Params, segment int, showStats bool,
+func compressStream(in, out string, params core.Params, segment int, parity core.ParityConfig, showStats bool,
 	openInput func() (io.ReadCloser, error), openOutput func(string) (io.WriteCloser, error)) error {
 	src, err := openInput()
 	if err != nil {
@@ -495,7 +537,7 @@ func compressStream(in, out string, params core.Params, segment int, showStats b
 	}
 	start := time.Now()
 	cw := &countingWriter{w: dst}
-	w := core.NewWriterOptions(cw, params, core.StreamOptions{SegmentSize: segment})
+	w := core.NewWriterOptions(cw, params, core.StreamOptions{SegmentSize: segment, Parity: parity})
 	n, err := io.Copy(w, src)
 	if cerr := w.Close(); err == nil {
 		err = cerr
@@ -528,7 +570,7 @@ func compressStream(in, out string, params core.Params, segment int, showStats b
 // it is scanned, truncated to the last verifiable frame, and continued —
 // the already-covered input prefix is skipped, so the finished file
 // matches an uninterrupted run byte for byte.
-func compressDurable(in, out string, params core.Params, segment, commitEvery int, showStats bool,
+func compressDurable(in, out string, params core.Params, segment, commitEvery int, parity core.ParityConfig, showStats bool,
 	openInput func() (io.ReadCloser, error)) error {
 	if out == "-" {
 		return fmt.Errorf("-resume needs a real output file, not stdout")
@@ -541,7 +583,7 @@ func compressDurable(in, out string, params core.Params, segment, commitEvery in
 	start := time.Now()
 	opts := durable.Options{
 		CommitEverySegments: commitEvery,
-		Stream:              core.StreamOptions{SegmentSize: segment},
+		Stream:              core.StreamOptions{SegmentSize: segment, Parity: parity},
 	}
 	var (
 		w   *durable.Writer
@@ -560,6 +602,10 @@ func compressDurable(in, out string, params core.Params, segment, commitEvery in
 		resumedBytes = int64(rep.TotalLen)
 		fmt.Fprintf(os.Stderr, "culzss: resuming %s: %d segment(s) / %s verified, %s unverifiable tail dropped\n",
 			out, rep.NextIndex, stats.FormatBytes(int64(rep.TotalLen)), stats.FormatBytes(rep.Truncated))
+		if rep.Repaired > 0 {
+			fmt.Fprintf(os.Stderr, "culzss: resuming %s: %d torn frame(s) rebuilt in place from parity\n",
+				out, rep.Repaired)
+		}
 		if rep.Complete {
 			// The interrupted run had already finished; Resume renamed it.
 			return nil
@@ -605,6 +651,9 @@ func describeStream(path string, f *os.File) error {
 			fmt.Printf("framed stream: %s\n", path)
 			fmt.Printf("segment size:  %d (nominal)\n", fr.SegmentSize)
 			fmt.Printf("segments:      %d\n", segments)
+			if fr.ParityK > 0 {
+				fmt.Printf("parity:        %d+%d (%d parity frames)\n", fr.ParityK, fr.ParityM, fr.ParityFrames)
+			}
 			for c, n := range codecs {
 				fmt.Printf("codec:         %v (%d segments)\n", c, n)
 			}

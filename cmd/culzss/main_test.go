@@ -395,3 +395,132 @@ func TestExitCodeGeneric(t *testing.T) {
 		t.Fatalf("exit code %d, want %d", code, exitGeneric)
 	}
 }
+
+// parityStream compresses in with -stream -parity and returns the path
+// plus the raw stream bytes.
+func parityStream(t *testing.T, dir, in string, segment int, parity string) (string, []byte) {
+	t.Helper()
+	framed := filepath.Join(dir, "parity.clzs")
+	if err := run([]string{"-stream", "-version", "serial", "-segment", itoa(segment),
+		"-parity", parity, in, framed}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(framed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return framed, raw
+}
+
+// TestParityFlagRepairs: a -parity stream with a mid-stream bit flip is
+// decoded completely by -d -salvage — the damage heals from parity and
+// the run exits 0, unlike the parity-less TestSalvageFlag case.
+func TestParityFlagRepairs(t *testing.T) {
+	dir := t.TempDir()
+	in, data := writeInput(t, dir)
+	const segment = 16 << 10
+	framed, raw := parityStream(t, dir, in, segment, "2+1")
+
+	// Clean round trip first, parity absorbed transparently.
+	cleanOut := filepath.Join(dir, "clean.dat")
+	if err := run([]string{"-d", framed, cleanOut}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(cleanOut); !bytes.Equal(got, data) {
+		t.Fatal("clean parity stream round trip mismatch")
+	}
+
+	damaged := filepath.Join(dir, "damaged.clzs")
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(damaged, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strict decode still refuses the damage.
+	if err := run([]string{"-d", damaged, filepath.Join(dir, "strict.dat")}); err == nil {
+		t.Fatal("strict decode of damaged stream succeeded")
+	}
+
+	// -salvage heals it: complete output, exit 0.
+	healedOut := filepath.Join(dir, "healed.dat")
+	if err := run([]string{"-d", "-salvage", "-stats", damaged, healedOut}); err != nil {
+		t.Fatalf("salvage of a repairable stream failed: %v", err)
+	}
+	got, err := os.ReadFile(healedOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("healed output differs from the original")
+	}
+}
+
+// TestParityFlagBeyondCapacity: losses past the parity budget still exit
+// nonzero with the corrupt classification.
+func TestParityFlagBeyondCapacity(t *testing.T) {
+	dir := t.TempDir()
+	in, data := writeInput(t, dir)
+	const segment = 16 << 10
+	_, raw := parityStream(t, dir, in, segment, "2+1")
+
+	// Smear a wide mid-stream region: more than one frame of a 2+1 group
+	// dies, which is past what a single parity shard can rebuild.
+	for i := len(raw) / 4; i < len(raw)/2; i++ {
+		raw[i] ^= 0x5a
+	}
+	damaged := filepath.Join(dir, "damaged.clzs")
+	if err := os.WriteFile(damaged, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "partial.dat")
+	err := run([]string{"-d", "-salvage", damaged, out})
+	if err == nil {
+		t.Fatal("salvage reported success past the parity budget")
+	}
+	if code := exitCode(err); code != exitCorrupt {
+		t.Fatalf("exit code %d, want %d (err: %v)", code, exitCorrupt, err)
+	}
+	if got, _ := os.ReadFile(out); len(got) == 0 || len(got) >= len(data) {
+		t.Fatalf("salvaged %d bytes of %d; want a strict non-empty subset", len(got), len(data))
+	}
+}
+
+func TestParityFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	in, _ := writeInput(t, dir)
+	out := filepath.Join(dir, "out.clzs")
+	for _, bad := range [][]string{
+		{"-stream", "-parity", "nope", in, out},
+		{"-stream", "-parity", "0+1", in, out},
+		{"-stream", "-parity", "4+0", in, out},
+		{"-stream", "-parity", "9999+1", in, out},
+		{"-parity", "4+2", in, out},                   // needs -stream/-resume
+		{"-d", "-salvage", "-parity", "4+2", in, out}, // decompression
+	} {
+		if err := run(bad); err == nil {
+			t.Fatalf("args %v accepted", bad)
+		}
+	}
+}
+
+// TestParityResumeFlag: -resume -parity continues an interrupted parity
+// stream and the finished file decodes cleanly.
+func TestParityResumeFlag(t *testing.T) {
+	dir := t.TempDir()
+	in, data := writeInput(t, dir)
+	out := filepath.Join(dir, "out.clzs")
+	const segment = 16 << 10
+
+	// A full durable run with parity (no interruption).
+	if err := run([]string{"-resume", "-version", "serial", "-segment", itoa(segment),
+		"-parity", "2+1", in, out}); err != nil {
+		t.Fatal(err)
+	}
+	back := filepath.Join(dir, "back.dat")
+	if err := run([]string{"-d", out, back}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(back); !bytes.Equal(got, data) {
+		t.Fatal("durable parity stream round trip mismatch")
+	}
+}

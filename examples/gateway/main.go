@@ -25,9 +25,18 @@
 // never wedge the stream. Had the whole pool been sick, each segment
 // would have degraded to the byte-identical host encoder instead — the
 // gateway serves in degraded mode rather than dying. The example reports
-// the supervisor's counters and its breaker logbook. The egress opens the
-// stream in salvage mode, so a damaged hop would cost only the damaged
-// segments, not the connection.
+// the supervisor's counters and its breaker logbook.
+//
+// The hop itself is hostile: a seeded fault injector plants multi-byte
+// interference bursts (faults.BurstErrors) directly on the wire, the
+// damage model parity frames exist for. The ingress therefore writes
+// with parity protection (4+2 Reed–Solomon: every 4 data frames are
+// followed by 2 parity frames), and the egress opens the stream in
+// salvage+repair mode — damaged frames are rebuilt bit-identically from
+// their group's parity instead of being skipped, so the consumer still
+// receives the exact payload even though the wire mangled it. Each
+// healed region is logged, and the repair counters land on /metrics
+// alongside everything else.
 //
 // The gateway also exposes the observability layer a production
 // deployment would scrape: an HTTP debug server (default on an ephemeral
@@ -61,13 +70,29 @@ import (
 	"culzss/internal/core"
 	"culzss/internal/cudasim"
 	"culzss/internal/datasets"
+	"culzss/internal/faults"
 	"culzss/internal/format"
 	"culzss/internal/health"
 	"culzss/internal/obs"
 	"culzss/internal/stats"
 )
 
-const segmentSize = 64 << 10
+const (
+	segmentSize = 64 << 10
+
+	// The hostile-wire model: one interference burst every ~512 KiB on
+	// average, each burst flipping bits in 97 consecutive bytes. Seeded,
+	// so the demo's damage — and its repair — is reproducible.
+	wireFaultSeed = 11
+	wireBurstGap  = 512 << 10
+	wireBurstLen  = 97
+
+	// Parity geometry on the hop: every 4 data frames are followed by 2
+	// Reed–Solomon parity frames, so any ≤2 damaged frames per group
+	// rebuild bit-identically.
+	parityK = 4
+	parityM = 2
+)
 
 // countingWriter tallies the bytes crossing the compressed hop.
 type countingWriter struct {
@@ -112,17 +137,21 @@ func main() {
 	}()
 
 	// Egress gateway: framed stream in, plain out. core.NewReader decodes
-	// incrementally, so the gateway's memory stays O(segment). Salvage
-	// mode means a damaged hop costs the damaged segments, not the
-	// connection: intact segments keep flowing and each skipped region is
-	// reported.
+	// incrementally, so the gateway's memory stays O(segment). Repair
+	// mode upgrades salvage from skip to heal: a damaged frame is rebuilt
+	// bit-identically from its parity group, and only damage past the
+	// parity budget would cost the segment.
+	healed := make(chan int, 1) // data frames rebuilt from parity
 	go func() {
 		in := accept(egressIn)
 		defer in.Close()
 		out := dial(consumerIn)
 		defer out.Close()
 		r, err := core.NewReaderOptions(in, core.Params{Obs: reg}, core.ReaderOptions{
-			Salvage: true,
+			Repair: true,
+			OnRepair: func(rse *format.RepairedSegmentError) {
+				log.Print("egress: repaired damaged region: ", rse)
+			},
 			OnCorrupt: func(cse *format.CorruptSegmentError) {
 				log.Print("egress: salvage skipped damaged region: ", cse)
 			},
@@ -133,6 +162,14 @@ func main() {
 		if _, err := io.Copy(out, r); err != nil {
 			log.Fatal("egress forward:", err)
 		}
+		if skipped := r.CorruptSegments(); len(skipped) > 0 {
+			log.Fatalf("egress: %d region(s) were beyond the parity budget", len(skipped))
+		}
+		frames := 0
+		for _, rse := range r.RepairedSegments() {
+			frames += len(rse.Frames)
+		}
+		healed <- frames
 	}()
 
 	// Ingress gateway: plain in, framed stream out. The Writer cuts
@@ -152,6 +189,11 @@ func main() {
 		{Device: cudasim.FermiGTX480()},
 	}, health.Policy{Threshold: 1, OpenFor: time.Hour, Deadline: 5 * time.Second, Obs: reg})
 
+	// The wire corrupter sits between the Writer and the byte counter:
+	// everything the ingress emits — headers, data frames, parity frames
+	// alike — is exposed to seeded interference bursts, exactly as a
+	// hostile hop would do it.
+	injector := faults.New(wireFaultSeed)
 	degraded := make(chan core.WriterStats, 1)
 	go func() {
 		in := accept(ingressIn)
@@ -159,13 +201,15 @@ func main() {
 		conn := dial(egressIn)
 		defer conn.Close()
 		cw := &countingWriter{w: conn}
+		wire := injector.CorruptWriter(cw, wireBurstGap, faults.BurstErrors(wireBurstLen))
 		params := core.Params{
 			Version: core.Version1,
 			Health:  sup,
 			Obs:     reg,
 		}
-		w := core.NewWriterOptions(cw, params, core.StreamOptions{
+		w := core.NewWriterOptions(wire, params, core.StreamOptions{
 			SegmentSize: segmentSize,
+			Parity:      core.ParityConfig{K: parityK, M: parityM},
 			Retry: core.RetryPolicy{
 				MaxAttempts: 2, // fail fast in the demo; default is 3
 				BaseBackoff: 500 * time.Microsecond,
@@ -191,10 +235,20 @@ func main() {
 	delivered := <-done
 	ws := <-degraded
 	hopBytes := <-hop
+	healedFrames := <-healed
 	if !bytes.Equal(delivered, payload) {
 		log.Fatal("delivered data differs from what was sent")
 	}
+	wireDamage := injector.Counts(faults.SiteFrame).Injected
+	if wireDamage == 0 {
+		log.Fatal("the hostile wire injected no damage — the healing demo demonstrated nothing")
+	}
+	if healedFrames == 0 {
+		log.Fatal("wire damage landed but no frames were rebuilt from parity")
+	}
 	fmt.Printf("delivered %s end to end, byte-identical\n", stats.FormatBytes(int64(len(delivered))))
+	fmt.Printf("hostile wire corrupted %d byte(s) in transit; egress rebuilt %d frame(s) from %d+%d parity — nothing skipped\n",
+		wireDamage, healedFrames, parityK, parityM)
 	fmt.Printf("gateway rode out a dead GPU: %d/%d segments re-dispatched to the healthy device, %d degraded to CPU, %d device(s) quarantined\n",
 		ws.Redispatched, ws.Segments, ws.Degraded, ws.Quarantined)
 	for _, ev := range sup.Events() {
@@ -220,6 +274,8 @@ func main() {
 		{"culzss_health_redispatches_total", ws.Redispatched},
 		{"culzss_health_breaker_opens_total", ws.BreakerOpens},
 		{"culzss_health_quarantined_devices", ws.Quarantined},
+		{"culzss_repair_repaired_total", healedFrames},
+		{"culzss_reader_corrupt_segments_total", 0},
 	}
 	ok := true
 	for _, c := range checks {

@@ -142,6 +142,14 @@ type StreamOptions struct {
 	// positioning dst there — see internal/durable); SegmentSize must
 	// match the original stream's.
 	Resume *ResumeState
+	// Parity selects self-healing redundancy: after every Parity.K data
+	// frames the Writer emits Parity.M parity frames carrying an erasure
+	// code over the group's exact frame bytes, so a salvage+repair Reader
+	// can reconstruct up to M damaged or missing frames per group
+	// bit-identically instead of skipping them. The zero value disables
+	// parity and the output is byte-identical to a parity-less stream.
+	// Overhead is roughly M/K of the compressed size plus small headers.
+	Parity ParityConfig
 	// DrainOnCancel selects graceful drain: when Context is cancelled,
 	// Write stops admitting new data (it returns the context's error as
 	// before) but every segment already accepted — in flight or buffered
@@ -150,6 +158,31 @@ type StreamOptions struct {
 	// bytes. Without it, cancellation abandons in-flight work and Close
 	// reports the context's error.
 	DrainOnCancel bool
+}
+
+// ParityConfig is StreamOptions.Parity: the K+M geometry of the
+// stream's parity groups.
+type ParityConfig struct {
+	// K is the number of data frames per parity group; 0 disables
+	// parity. Bounded by format.MaxParityK.
+	K int
+	// M is the number of parity frames per group: 1 selects the XOR fast
+	// path (repairs any single loss), larger M Reed–Solomon (any M
+	// losses). Bounded by format.MaxParityM; must be ≥ 1 when K > 0.
+	M int
+}
+
+func (c ParityConfig) validate() error {
+	if c.K == 0 && c.M == 0 {
+		return nil
+	}
+	if c.K < 1 || c.K > format.MaxParityK {
+		return fmt.Errorf("core: parity K %d out of range [1,%d]", c.K, format.MaxParityK)
+	}
+	if c.M < 1 || c.M > format.MaxParityM {
+		return fmt.Errorf("core: parity M %d out of range [1,%d]", c.M, format.MaxParityM)
+	}
+	return nil
 }
 
 // ResumeState carries the stream position a resumed Writer continues
@@ -165,6 +198,14 @@ type ResumeState struct {
 	Total int
 	// CRC is the running plaintext CRC-32 over those Total bytes.
 	CRC uint32
+	// GroupFrames, for a parity-bearing stream, holds the exact encoded
+	// bytes of the surviving data frames of the trailing incomplete
+	// parity group (the frames after the last parity run). A resumed
+	// Writer seeds its group accumulator with them so the group's parity
+	// eventually covers the pre-crash frames too, keeping the finished
+	// stream byte-equivalent to an uninterrupted run. Empty when the cut
+	// landed on a group boundary or the stream carries no parity.
+	GroupFrames [][]byte
 }
 
 // RetryPolicy bounds how hard the Writer fights for a segment before
@@ -223,6 +264,9 @@ type WriterStats struct {
 	// encoder after exhausting their GPU attempts (or, supervised, after
 	// the whole pool was quarantined or the segment deadline expired).
 	Degraded int
+	// ParityFrames is the number of parity frames emitted (0 without
+	// StreamOptions.Parity).
+	ParityFrames int
 	// Resumed is the number of segment frames inherited from an
 	// interrupted stream (StreamOptions.Resume's NextIndex); 0 for a
 	// fresh stream.
@@ -293,6 +337,12 @@ type Writer struct {
 	total   int    // total plaintext bytes accepted
 	crc     uint32 // running CRC-32 of the plaintext
 
+	// Parity accumulator (emitter goroutine only, after construction):
+	// the exact encoded bytes of the open group's data frames, and the
+	// index of the group's first frame.
+	parityGroup [][]byte
+	parityFirst int
+
 	jobs     chan *segJob // feeds the compression workers
 	pending  chan *segJob // feeds the in-order emitter; its capacity is the memory bound
 	emitted  chan struct{}
@@ -360,11 +410,22 @@ func NewWriterOptions(dst io.Writer, p Params, o StreamOptions) *Writer {
 	if p.Health != nil {
 		w.healthBase = p.Health.Snapshot()
 	}
+	if err := o.Parity.validate(); err != nil {
+		w.setErr(err)
+	}
 	if r := o.Resume; r != nil {
 		w.index = r.NextIndex
 		w.total = r.Total
 		w.crc = r.CRC
 		w.wstats.Resumed = r.NextIndex
+		if o.Parity.K > 0 {
+			w.parityGroup = append([][]byte(nil), r.GroupFrames...)
+			w.parityFirst = r.NextIndex - len(r.GroupFrames)
+			if w.parityFirst < 0 {
+				w.setErr(fmt.Errorf("core: resume carries %d group frames but only %d segments precede it",
+					len(r.GroupFrames), r.NextIndex))
+			}
+		}
 	}
 	w.bufPool.New = func() any { return make([]byte, 0, w.segSize) }
 	return w
@@ -440,6 +501,13 @@ func (w *Writer) worker() {
 // full pipeline.
 func (w *Writer) emitter() {
 	defer close(w.emitted)
+	// A resume-seeded group can already be full — its parity run was torn
+	// off with the crash. Re-emit that run before any new frame.
+	if k := w.opts.Parity.K; k > 0 && len(w.parityGroup) >= k && w.err() == nil {
+		if err := w.emitParity(); err != nil {
+			w.setErr(fmt.Errorf("core: writing resumed group parity: %w", err))
+		}
+	}
 	for job := range w.pending {
 		res := <-job.result
 		w.wstatsMu.Lock()
@@ -465,7 +533,22 @@ func (w *Writer) emitter() {
 			if w.met.tracer != nil {
 				sp = w.met.tracer.Start(fmt.Sprintf("segment %d", job.index), "frame-emit")
 			}
-			n, err := format.WriteSegmentFrame(w.dst, job.index, len(job.data), res.container)
+			var n int
+			var err error
+			if w.opts.Parity.K > 0 {
+				// Parity covers the exact frame bytes, so build the frame
+				// once and both write and retain the same encoding.
+				enc := format.AppendSegmentFrame(nil, job.index, len(job.data), res.container)
+				n, err = w.dst.Write(enc)
+				if err == nil {
+					w.parityGroup = append(w.parityGroup, enc)
+					if len(w.parityGroup) == w.opts.Parity.K {
+						err = w.emitParity()
+					}
+				}
+			} else {
+				n, err = format.WriteSegmentFrame(w.dst, job.index, len(job.data), res.container)
+			}
 			sp.End(err)
 			w.met.bytesOut.Add(int64(n))
 			if err != nil {
@@ -474,6 +557,34 @@ func (w *Writer) emitter() {
 		}
 		w.release(job)
 	}
+	// The final (possibly short) group still gets its parity: a reader
+	// must be able to repair losses in the stream's tail too.
+	if w.err() == nil && len(w.parityGroup) > 0 {
+		if err := w.emitParity(); err != nil {
+			w.setErr(fmt.Errorf("core: writing tail parity: %w", err))
+		}
+	}
+}
+
+// emitParity closes the open parity group: it derives the group's M
+// parity frames and writes them after the group's last data frame.
+// Runs on the emitter goroutine.
+func (w *Writer) emitParity() error {
+	pfs, err := format.BuildParityFrames(w.parityFirst, w.parityGroup, w.opts.Parity.M)
+	if err != nil {
+		return err
+	}
+	for _, pf := range pfs {
+		if _, err := format.WriteParityFrame(w.dst, pf); err != nil {
+			return err
+		}
+	}
+	w.wstatsMu.Lock()
+	w.wstats.ParityFrames += len(pfs)
+	w.wstatsMu.Unlock()
+	w.parityFirst += len(w.parityGroup)
+	w.parityGroup = w.parityGroup[:0]
+	return nil
 }
 
 // release returns a job's segment buffer to the pool and retires its
@@ -839,13 +950,14 @@ type Reader struct {
 	legacy *bytes.Reader
 
 	// Framed mode.
-	fr      *format.FrameReader
-	cur     []byte // decoded bytes of the current segment not yet consumed
-	crc     uint32 // running CRC-32 of the plaintext served so far
-	served  int
-	done    bool
-	err     error
-	corrupt []*format.CorruptSegmentError
+	fr       *format.FrameReader
+	cur      []byte // decoded bytes of the current segment not yet consumed
+	crc      uint32 // running CRC-32 of the plaintext served so far
+	served   int
+	done     bool
+	err      error
+	corrupt  []*format.CorruptSegmentError
+	repaired []*format.RepairedSegmentError
 }
 
 // ReaderOptions tune the Reader's decode behaviour.
@@ -867,6 +979,20 @@ type ReaderOptions struct {
 	// discovered (salvage mode only), before the following intact segment
 	// is served.
 	OnCorrupt func(*format.CorruptSegmentError)
+	// Repair upgrades salvage from skip to heal: damaged or missing
+	// segment frames are reconstructed bit-identically from the stream's
+	// parity frames (when the writer emitted them via
+	// StreamOptions.Parity), and only damage beyond the parity's reach
+	// degrades to a recorded CorruptSegmentError. Implies Salvage.
+	// Parity-less streams decode as under plain salvage. Healed regions
+	// are recorded as *format.RepairedSegmentError, retrievable via
+	// RepairedSegments; when every damaged region is repaired the
+	// end-to-end trailer checks are enforced again (nothing is missing).
+	Repair bool
+	// OnRepair, when non-nil, is called once per healed region as its
+	// parity group settles (repair mode only), before the repaired
+	// segments are served.
+	OnRepair func(*format.RepairedSegmentError)
 }
 
 // NewReader sniffs src and returns a Reader over the plaintext. Framed
@@ -887,7 +1013,7 @@ func NewReaderOptions(src io.Reader, p Params, o ReaderOptions) (*Reader, error)
 	if err == nil && string(magic) == format.StreamMagic {
 		var fr *format.FrameReader
 		var ferr error
-		if o.Salvage {
+		if o.Salvage || o.Repair {
 			fr, ferr = format.NewFrameReaderSalvage(br)
 		} else {
 			fr, ferr = format.NewFrameReader(br)
@@ -896,6 +1022,10 @@ func NewReaderOptions(src io.Reader, p Params, o ReaderOptions) (*Reader, error)
 			return nil, ferr
 		}
 		fr.Obs = p.Obs
+		if o.Repair {
+			o.Salvage = true
+			fr.EnableRepair()
+		}
 		return &Reader{params: p, opts: o, ctx: ctx, fr: fr, met: newReaderMetrics(p.Obs)}, nil
 	}
 	// Bare container (or too short / not ours — let Decompress produce
@@ -917,6 +1047,14 @@ func NewReaderOptions(src io.Reader, p Params, o ReaderOptions) (*Reader, error)
 // progresses; it is complete once Read has returned io.EOF.
 func (r *Reader) CorruptSegments() []*format.CorruptSegmentError {
 	return r.corrupt
+}
+
+// RepairedSegments returns the healed regions recorded so far (repair
+// mode): damage that parity reconstruction fully reversed, whose
+// segments were served bit-identical to the originals. The slice grows
+// as Read progresses; it is complete once Read has returned io.EOF.
+func (r *Reader) RepairedSegments() []*format.RepairedSegmentError {
+	return r.repaired
 }
 
 // ctxErr reports the Reader context's error, if it is done.
@@ -974,6 +1112,16 @@ func (r *Reader) nextSegment() error {
 		frame, trailer, err := r.fr.Next()
 		if err != nil {
 			if r.opts.Salvage {
+				// A RepairedSegmentError may wrap the parse failure that
+				// revealed the damage, so match it before the corrupt case.
+				var rse *format.RepairedSegmentError
+				if errors.As(err, &rse) {
+					r.repaired = append(r.repaired, rse)
+					if r.opts.OnRepair != nil {
+						r.opts.OnRepair(rse)
+					}
+					continue // non-sticky: the healed segments follow
+				}
 				var cse *format.CorruptSegmentError
 				if errors.As(err, &cse) {
 					r.recordCorrupt(cse)

@@ -140,6 +140,7 @@ type durableMetrics struct {
 	commitBytes     *obs.Counter
 	resumes         *obs.Counter
 	resumeTruncated *obs.Counter
+	resumeRepaired  *obs.Counter
 	commitSeconds   *obs.Histogram
 }
 
@@ -148,12 +149,14 @@ func newDurableMetrics(reg *obs.Registry) durableMetrics {
 	reg.SetHelp("culzss_durable_commit_bytes_total", "Output bytes newly covered by durable commits.")
 	reg.SetHelp("culzss_durable_resumes_total", "Interrupted streams resumed from a partial file.")
 	reg.SetHelp("culzss_durable_resume_truncated_bytes_total", "Unverifiable tail bytes discarded by resume.")
+	reg.SetHelp("culzss_durable_resume_repaired_frames_total", "Frames rebuilt in place from parity during resume.")
 	reg.SetHelp("culzss_commit_seconds", "Durable commit (fsync) latency in seconds.")
 	return durableMetrics{
 		commits:         reg.Counter("culzss_durable_commits_total"),
 		commitBytes:     reg.Counter("culzss_durable_commit_bytes_total"),
 		resumes:         reg.Counter("culzss_durable_resumes_total"),
 		resumeTruncated: reg.Counter("culzss_durable_resume_truncated_bytes_total"),
+		resumeRepaired:  reg.Counter("culzss_durable_resume_repaired_frames_total"),
 		commitSeconds:   reg.Histogram("culzss_commit_seconds"),
 	}
 }

@@ -34,6 +34,21 @@ type TailReport struct {
 	TotalLen int
 	// CRC is the running plaintext CRC-32 over those TotalLen bytes.
 	CRC uint32
+	// ParityK and ParityM report the stream's parity geometry, learned
+	// from its first parity frame; 0,0 when the verified prefix carries
+	// no parity.
+	ParityK, ParityM int
+	// GroupFrames holds the exact encoded bytes of the verified data
+	// frames after the last kept parity run — the trailing open parity
+	// group. A resumed writer seeds its accumulator with them
+	// (core.ResumeState.GroupFrames) so the group's eventual parity
+	// covers the pre-crash frames too. Empty for parity-less streams and
+	// group-boundary cuts.
+	GroupFrames [][]byte
+	// Repaired is the number of frames reconstructed in place from
+	// parity before this report's scan (filled by Resume's repair pass;
+	// always 0 from a direct ScanTail).
+	Repaired int
 	// Complete reports the stream already ends with a verified trailer —
 	// nothing was lost; the file only needs finalizing.
 	Complete bool
@@ -47,7 +62,12 @@ type TailReport struct {
 
 // ResumeState converts the report into the core.Writer hook.
 func (t *TailReport) ResumeState() *core.ResumeState {
-	return &core.ResumeState{NextIndex: t.NextIndex, Total: t.TotalLen, CRC: t.CRC}
+	return &core.ResumeState{
+		NextIndex:   t.NextIndex,
+		Total:       t.TotalLen,
+		CRC:         t.CRC,
+		GroupFrames: t.GroupFrames,
+	}
 }
 
 // countReader counts consumed bytes and exposes io.ByteReader so the
@@ -99,6 +119,21 @@ func ScanTail(r io.ReadSeeker, p core.Params) (*TailReport, error) {
 		return nil, err
 	}
 	rep := &TailReport{HeaderOK: true, SegmentSize: fr.SegmentSize, LastGoodOffset: cr.n}
+	// Trailing-parity rule: a parity run is a resume point only when it is
+	// complete and covers a full-size group (k == the stream's K). A short
+	// run is the tail parity of an interrupted Close — keeping it would
+	// freeze the group short, so it is truncated and its data frames
+	// carried in GroupFrames for the resumed writer to re-cover. Partial
+	// runs never advance the verified offset (the reader rejects the
+	// stream shapes a resumed writer could legally append after them).
+	var group [][]byte
+	trackGroup := true
+	fr.OnParity = func(pf *format.ParityFrame) {
+		if pf.J == pf.M-1 && pf.K == fr.ParityK {
+			rep.LastGoodOffset = cr.n
+			group = group[:0]
+		}
+	}
 	for {
 		seg, trailer, err := fr.Next()
 		if err != nil {
@@ -129,9 +164,79 @@ func ScanTail(r io.ReadSeeker, p core.Params) (*TailReport, error) {
 		rep.TotalLen += len(raw)
 		rep.NextIndex++
 		rep.LastGoodOffset = cr.n
+		if trackGroup {
+			group = append(group, format.AppendSegmentFrame(nil, seg.Index, seg.RawLen, seg.Container))
+			if fr.ParityK == 0 && len(group) > format.MaxParityK {
+				// A parity-bearing writer emits parity at least every
+				// MaxParityK frames; this stream carries none. Stop
+				// retaining encodings — the memory would be unbounded.
+				group, trackGroup = nil, false
+			}
+		}
+	}
+	rep.ParityK, rep.ParityM = fr.ParityK, fr.ParityM
+	// The trailing frames are carried even when the prefix ends before the
+	// stream's first parity run: the resumed writer's options declare
+	// whether parity is in play, and a parity-less resume simply ignores
+	// them.
+	if !rep.Complete {
+		rep.GroupFrames = group
 	}
 	rep.Truncated = size - rep.LastGoodOffset
 	return rep, nil
+}
+
+// repairPartial runs a salvage+repair pass over the first size bytes of
+// an interrupted partial file: every frame that parity can reconstruct
+// is rewritten in place (the repair layer's RepairSink yields the exact
+// original bytes at their exact offsets), so a following ScanTail
+// verifies straight through damage that would otherwise cut the resume
+// prefix. Returns the number of frames patched; 0 means the file is
+// untouched. Patching is safe by construction — every sunk frame is
+// CRC-verified bit-identical to what the original writer put there.
+func repairPartial(f *os.File, size int64) (int, error) {
+	type patch struct {
+		off int64
+		enc []byte
+	}
+	cr := bufio.NewReader(io.NewSectionReader(f, 0, size))
+	fr, err := format.NewFrameReaderSalvage(cr)
+	if err != nil {
+		return 0, nil // unusable header; nothing to repair
+	}
+	fr.EnableRepair()
+	var patches []patch
+	fr.RepairSink = func(index int, off int64, encoded []byte) {
+		if off >= 0 {
+			patches = append(patches, patch{off, append([]byte(nil), encoded...)})
+		}
+	}
+	for {
+		_, trailer, err := fr.Next()
+		if trailer != nil {
+			break
+		}
+		if err != nil {
+			var cse *format.CorruptSegmentError
+			var rse *format.RepairedSegmentError
+			if errors.As(err, &rse) || errors.As(err, &cse) {
+				continue // non-sticky notices; keep draining
+			}
+			break // terminal: end of the usable prefix
+		}
+	}
+	if len(patches) == 0 {
+		return 0, nil
+	}
+	for _, p := range patches {
+		if _, err := f.WriteAt(p.enc, p.off); err != nil {
+			return 0, fmt.Errorf("durable: patching repaired frame at %d: %w", p.off, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return 0, fmt.Errorf("durable: committing repaired frames: %w", err)
+	}
+	return len(patches), nil
 }
 
 // Resume continues an interrupted durable stream: it scans
@@ -165,6 +270,20 @@ func Resume(path string, p core.Params, o Options) (*Writer, *TailReport, error)
 		return nil, nil, err
 	}
 	met := newDurableMetrics(p.Obs)
+	if !rep.Complete && rep.HeaderOK && rep.Truncated > 0 {
+		// Before truncating unverifiable tail bytes, let parity heal them:
+		// a torn or corrupted frame whose group parity survived is
+		// rewritten in place, and the rescan then verifies past it.
+		if size, serr := f.Seek(0, io.SeekEnd); serr == nil {
+			if n, perr := repairPartial(f, size); perr == nil && n > 0 {
+				met.resumeRepaired.Add(int64(n))
+				if rep2, serr := ScanTail(f, p); serr == nil {
+					rep2.Repaired = n
+					rep = rep2
+				}
+			}
+		}
+	}
 	met.resumes.Inc()
 	met.resumeTruncated.Add(rep.Truncated)
 	if err := f.Truncate(rep.LastGoodOffset); err != nil {
@@ -190,6 +309,11 @@ func Resume(path string, p core.Params, o Options) (*Writer, *TailReport, error)
 	if rep.HeaderOK {
 		o.Stream.SegmentSize = rep.SegmentSize
 		o.Stream.Resume = rep.ResumeState()
+		if o.Stream.Parity.K == 0 && rep.ParityK > 0 {
+			// The caller did not restate the parity geometry; inherit it
+			// from the stream so the resumed half stays covered too.
+			o.Stream.Parity = core.ParityConfig{K: rep.ParityK, M: rep.ParityM}
+		}
 		scan = format.ResumeBoundaryScanner(rep.LastGoodOffset, rep.NextIndex)
 	} else {
 		// Nothing recoverable: restart the stream in the same partial.

@@ -322,33 +322,59 @@ func (in *Injector) LaunchHook() func(ctx context.Context, kernel string) error 
 	}
 }
 
-// CorruptWriter wraps w so that roughly one bit per rate bytes is flipped
-// on the way through, positions drawn deterministically from the
-// injector's seed — the wire-corruption model salvage decoding is tested
-// against. A nil injector (or rate <= 0) returns w unchanged. The wrapper
-// probes SiteFrame once per flipped bit, so Counts(SiteFrame) reports the
-// corruption volume.
-func (in *Injector) CorruptWriter(w io.Writer, rate int) io.Writer {
-	if in == nil || rate <= 0 {
+// CorruptOption tunes a CorruptWriter.
+type CorruptOption func(*corruptWriter)
+
+// BurstErrors makes every corruption event damage n consecutive bytes
+// (one flipped bit in each) instead of a single byte — the torn-sector /
+// interference-burst model, the shape parity-frame repair exists for.
+// n <= 1 is the default single-byte flip.
+func BurstErrors(n int) CorruptOption {
+	return func(c *corruptWriter) {
+		if n > 1 {
+			c.burst = n
+		}
+	}
+}
+
+// CorruptWriter wraps w so that roughly one corruption event per rate
+// bytes fires on the way through (a single-bit flip by default, a
+// multi-byte burst under BurstErrors), positions drawn deterministically
+// from the injector's seed — the wire-corruption model salvage decoding
+// is tested against. A nil injector returns w unchanged; a non-nil
+// injector with rate <= 0 panics — that configuration silently armed a
+// flipper that never fires, which is a test bug, not a choice. The
+// wrapper probes SiteFrame once per corrupted byte, so Counts(SiteFrame)
+// reports the corruption volume.
+func (in *Injector) CorruptWriter(w io.Writer, rate int, opts ...CorruptOption) io.Writer {
+	if in == nil {
 		return w
+	}
+	if rate <= 0 {
+		panic(fmt.Sprintf("faults: CorruptWriter rate %d; an armed corrupter needs rate > 0", rate))
 	}
 	in.mu.Lock()
 	// A corrupting writer gets its own deterministic stream derived from
 	// the injector seed, so interleaved Fault probes do not perturb the
 	// flip positions.
-	cw := &corruptWriter{w: w, in: in, rng: rand.New(rand.NewSource(in.seed ^ 0x5bd1e995)), rate: rate}
+	cw := &corruptWriter{w: w, in: in, rng: rand.New(rand.NewSource(in.seed ^ 0x5bd1e995)), rate: rate, burst: 1}
 	in.mu.Unlock()
+	for _, o := range opts {
+		o(cw)
+	}
 	cw.next = cw.gap()
 	return cw
 }
 
 type corruptWriter struct {
-	w    io.Writer
-	in   *Injector
-	rng  *rand.Rand
-	rate int
-	next int64 // bytes until the next flip
-	off  int64
+	w         io.Writer
+	in        *Injector
+	rng       *rand.Rand
+	rate      int
+	burst     int   // bytes corrupted per event
+	burstLeft int   // remaining bytes of the in-progress burst
+	next      int64 // bytes until the next corruption event
+	off       int64
 }
 
 // gap draws the distance to the next flipped byte: uniform in [1, 2*rate],
@@ -358,14 +384,20 @@ func (c *corruptWriter) gap() int64 {
 }
 
 // Write flips the scheduled bits inside p (copying first: callers own
-// their buffers) and forwards to the underlying writer.
+// their buffers) and forwards to the underlying writer. A burst that
+// outruns the buffer carries over into the next Write — the damage model
+// lives in the byte stream, not in call boundaries.
 func (c *corruptWriter) Write(p []byte) (int, error) {
 	copied := false
 	for i := range p {
-		c.next--
-		if c.next > 0 {
-			continue
+		if c.burstLeft == 0 {
+			c.next--
+			if c.next > 0 {
+				continue
+			}
+			c.burstLeft = c.burst
 		}
+		c.burstLeft--
 		if !copied {
 			q := make([]byte, len(p))
 			copy(q, p)
@@ -377,7 +409,11 @@ func (c *corruptWriter) Write(p []byte) (int, error) {
 		c.in.attempts[SiteFrame]++
 		c.in.injected[SiteFrame]++
 		c.in.mu.Unlock()
-		c.next = c.gap()
+		if c.burstLeft == 0 {
+			// Drawing the gap after the burst keeps the single-byte
+			// rng sequence (bit, gap, bit, gap, ...) unchanged.
+			c.next = c.gap()
+		}
 	}
 	n, err := c.w.Write(p)
 	c.off += int64(n)

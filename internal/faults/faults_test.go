@@ -197,3 +197,54 @@ func TestCorruptWriterFlipsDeterministically(t *testing.T) {
 		t.Fatalf("%d corrupted bytes on the wire, counts say %d", diff, ca.Injected)
 	}
 }
+
+func TestCorruptWriterBurstErrors(t *testing.T) {
+	const burst = 7
+	payload := bytes.Repeat([]byte("abcdefgh"), 1024)
+	in := New(envSeed(123))
+	var buf bytes.Buffer
+	w := in.CorruptWriter(&buf, 1024, BurstErrors(burst))
+	// One byte per call: bursts must carry across Write boundaries.
+	for i := range payload {
+		if _, err := w.Write(payload[i : i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := buf.Bytes()
+	counts := in.Counts(SiteFrame)
+	if counts.Injected == 0 || counts.Injected%burst != 0 {
+		t.Fatalf("injected %d bytes, want a positive multiple of %d", counts.Injected, burst)
+	}
+	// Damage comes in runs of `burst` consecutive bytes (adjacent events
+	// can merge into a multiple when the drawn gap is minimal).
+	runs := 0
+	for i := 0; i < len(got); {
+		if got[i] == payload[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < len(got) && got[j] != payload[j] {
+			j++
+		}
+		if (j-i)%burst != 0 {
+			t.Fatalf("damage run of %d bytes at %d, want a multiple of %d", j-i, i, burst)
+		}
+		runs += (j - i) / burst
+		i = j
+	}
+	if runs != counts.Injected/burst {
+		t.Fatalf("%d damage runs on the wire, counts imply %d", runs, counts.Injected/burst)
+	}
+}
+
+func TestCorruptWriterRejectsNonPositiveRate(t *testing.T) {
+	in := New(1)
+	var buf bytes.Buffer
+	defer func() {
+		if recover() == nil {
+			t.Fatal("armed CorruptWriter with rate 0 did not panic")
+		}
+	}()
+	_ = in.CorruptWriter(&buf, 0)
+}

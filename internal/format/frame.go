@@ -154,10 +154,32 @@ type FrameReader struct {
 	// Next call; nil is inert.
 	Obs *obs.Registry
 
+	// OnParity, when non-nil, observes every intact parity frame as it is
+	// decoded (both modes). Parity frames are otherwise transparent: Next
+	// never returns them.
+	OnParity func(*ParityFrame)
+	// RepairSink, when non-nil in repair mode, receives the exact encoded
+	// bytes of every frame the repair layer reconstructs, together with
+	// the absolute stream offset the frame originally occupied — the hook
+	// durable recovery uses to patch damage in place. The offset is -1
+	// when the original position could not be established.
+	RepairSink func(index int, off int64, encoded []byte)
+	// ParityK and ParityM report the stream's parity geometry, learned
+	// from the first parity frame (0,0 until one is seen / for
+	// parity-less streams).
+	ParityK, ParityM int
+	// ParityFrames counts intact parity frames decoded so far.
+	ParityFrames int
+
 	nextIndex int
 	rawTotal  int
 	trailer   *StreamTrailer
 	err       error
+
+	// Parity j-sequencing state (normal mode): first index of the parity
+	// group currently being read and the next expected shard number.
+	parityGroupFirst int
+	parityNextJ      int
 
 	// Salvage mode (see salvage.go): reads go through a sliding window so
 	// the decoder can back up and rescan after a damaged record.
@@ -171,6 +193,14 @@ type FrameReader struct {
 	corrupted   bool
 	pendFrame   *SegmentFrame
 	pendTrailer *StreamTrailer
+	pendParity  *ParityFrame
+	// recOff is the absolute stream offset at which the most recently
+	// returned salvage record started.
+	recOff int64
+
+	// rep holds the repair-mode state (see repair.go); nil outside repair
+	// mode.
+	rep *repairState
 }
 
 // NewFrameReader parses the stream header from r and returns a reader for
@@ -209,7 +239,7 @@ func NewFrameReader(r io.Reader) (*FrameReader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FrameReader{r: br, SegmentSize: segSize}, nil
+	return &FrameReader{r: br, SegmentSize: segSize, parityGroupFirst: -1}, nil
 }
 
 // Next decodes the next record. It returns (frame, nil, nil) for a segment
@@ -238,6 +268,10 @@ func (fr *FrameReader) Next() (*SegmentFrame, *StreamTrailer, error) {
 			fr.Obs.Counter("culzss_frames_salvage_skipped_bytes_total").Add(cse.Skipped)
 			return nil, nil, err // salvage: recoverable, not sticky
 		}
+		var rse *RepairedSegmentError
+		if errors.As(err, &rse) {
+			return nil, nil, err // repair notice: damage healed, not sticky
+		}
 		fr.err = err
 		return nil, nil, err
 	}
@@ -251,6 +285,16 @@ func (fr *FrameReader) Next() (*SegmentFrame, *StreamTrailer, error) {
 }
 
 func (fr *FrameReader) next() (*SegmentFrame, *StreamTrailer, error) {
+	for {
+		frame, trailer, err := fr.nextRecord()
+		if err != nil || frame != nil || trailer != nil {
+			return frame, trailer, err
+		}
+		// A parity frame was decoded and absorbed; keep reading.
+	}
+}
+
+func (fr *FrameReader) nextRecord() (*SegmentFrame, *StreamTrailer, error) {
 	marker, err := fr.r.ReadByte()
 	if err != nil {
 		// A stream must end with a trailer; EOF here is truncation.
@@ -311,8 +355,95 @@ func (fr *FrameReader) next() (*SegmentFrame, *StreamTrailer, error) {
 			return nil, nil, fmt.Errorf("%w: trailer totalLen %d, segment rawLens sum to %d", ErrCorrupt, t.TotalLen, fr.rawTotal)
 		}
 		return nil, t, nil
+	case frameMarkerParity:
+		pf, err := fr.readParity()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := fr.acceptParity(pf); err != nil {
+			return nil, nil, err
+		}
+		return nil, nil, nil // absorbed; caller keeps reading
 	default:
 		return nil, nil, fmt.Errorf("%w: unknown frame marker %#x", ErrCorrupt, marker)
+	}
+}
+
+// readParity decodes one parity frame body (the marker byte has already
+// been consumed), verifying geometry bounds and the shard CRC.
+func (fr *FrameReader) readParity() (*ParityFrame, error) {
+	fields := make([]int, 5) // firstIndex, k, m, j, shardLen
+	for i := range fields {
+		v, err := readVarint(fr.r)
+		if err != nil {
+			return nil, err
+		}
+		fields[i] = v
+	}
+	pf := &ParityFrame{FirstIndex: fields[0], K: fields[1], M: fields[2], J: fields[3], ShardLen: fields[4]}
+	if err := validateParityGeometry(pf.FirstIndex, pf.K, pf.M, pf.J, pf.ShardLen); err != nil {
+		return nil, err
+	}
+	pf.FrameLens = make([]int, pf.K)
+	for i := range pf.FrameLens {
+		v, err := readVarint(fr.r)
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 || v > pf.ShardLen {
+			return nil, fmt.Errorf("%w: frame length %d vs shard length %d", ErrParityGeometry, v, pf.ShardLen)
+		}
+		pf.FrameLens[i] = v
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(fr.r, crc[:]); err != nil {
+		return nil, eofToTruncated(err)
+	}
+	pf.Shard = make([]byte, pf.ShardLen)
+	if _, err := io.ReadFull(fr.r, pf.Shard); err != nil {
+		return nil, eofToTruncated(err)
+	}
+	if Checksum32(pf.Shard) != binary.BigEndian.Uint32(crc[:]) {
+		return nil, fmt.Errorf("%w: parity shard %d of group at %d", ErrFrameChecksum, pf.J, pf.FirstIndex)
+	}
+	return pf, nil
+}
+
+// acceptParity applies ordering checks and bookkeeping to an intact
+// parity frame in fail-fast (normal) mode.
+func (fr *FrameReader) acceptParity(pf *ParityFrame) error {
+	// Parity for [firstIndex, firstIndex+k) legally appears only right
+	// after that group's last data frame.
+	if pf.FirstIndex+pf.K != fr.nextIndex {
+		return fmt.Errorf("%w: parity group [%d,%d) closes at segment %d, reader is at %d",
+			ErrFrameOrder, pf.FirstIndex, pf.FirstIndex+pf.K, pf.FirstIndex+pf.K, fr.nextIndex)
+	}
+	if pf.FirstIndex == fr.parityGroupFirst {
+		if pf.J != fr.parityNextJ {
+			return fmt.Errorf("%w: parity shard %d of group at %d, want %d",
+				ErrFrameOrder, pf.J, pf.FirstIndex, fr.parityNextJ)
+		}
+	} else {
+		if pf.J != 0 {
+			return fmt.Errorf("%w: parity group at %d starts with shard %d", ErrFrameOrder, pf.FirstIndex, pf.J)
+		}
+		fr.parityGroupFirst = pf.FirstIndex
+	}
+	fr.parityNextJ = pf.J + 1
+	fr.noteParity(pf)
+	return nil
+}
+
+// noteParity records an intact parity frame (both modes): geometry,
+// counters, hook.
+func (fr *FrameReader) noteParity(pf *ParityFrame) {
+	if fr.ParityK == 0 {
+		fr.ParityK, fr.ParityM = pf.K, pf.M
+	}
+	fr.ParityFrames++
+	fr.Obs.Counter("culzss_frames_read_total", obs.L("kind", "parity")).Inc()
+	if fr.OnParity != nil {
+		fr.OnParity(pf)
 	}
 }
 

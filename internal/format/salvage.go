@@ -77,7 +77,7 @@ func (e *CorruptSegmentError) Unwrap() error { return e.Err }
 // damaged region, keeps delivering the intact segments around it, and
 // ends with either the trailer, io.EOF, or ErrTruncated.
 func NewFrameReaderSalvage(r io.Reader) (*FrameReader, error) {
-	fr := &FrameReader{salvage: true, src: r}
+	fr := &FrameReader{salvage: true, src: r, parityGroupFirst: -1}
 	if !fr.ensure(len(StreamMagic)) {
 		if fr.readErr != nil {
 			return nil, fr.readErr
@@ -175,63 +175,75 @@ func (fr *FrameReader) varintAt(p int) (int, int, error) {
 }
 
 // tryRecord attempts to parse one complete record at window position pos.
-// On success it returns the record and its total encoded length (the
-// window is NOT consumed). Failure is either errNeedMore (the stream
-// ended before the record was complete) or a corruption error.
-func (fr *FrameReader) tryRecord(pos int) (*SegmentFrame, *StreamTrailer, int, error) {
+// On success it returns the record (segment, trailer, or parity) and its
+// total encoded length (the window is NOT consumed). Failure is either
+// errNeedMore (the stream ended before the record was complete) or a
+// corruption error.
+func (fr *FrameReader) tryRecord(pos int) (*SegmentFrame, *StreamTrailer, *ParityFrame, int, error) {
 	if !fr.ensure(pos + 1) {
-		return nil, nil, 0, errNeedMore
+		return nil, nil, nil, 0, errNeedMore
 	}
 	p := pos + 1
 	switch marker := fr.buf[pos]; marker {
 	case frameMarkerSegment:
 		index, n, err := fr.varintAt(p)
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, nil, 0, err
 		}
 		p += n
 		rawLen, n, err := fr.varintAt(p)
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, nil, 0, err
 		}
 		p += n
 		compLen, n, err := fr.varintAt(p)
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, nil, 0, err
 		}
 		p += n
 		if rawLen > MaxSegmentLen || compLen > MaxSegmentLen {
-			return nil, nil, 0, fmt.Errorf("%w: implausible segment lengths raw=%d comp=%d", ErrCorrupt, rawLen, compLen)
+			return nil, nil, nil, 0, fmt.Errorf("%w: implausible segment lengths raw=%d comp=%d", ErrCorrupt, rawLen, compLen)
 		}
-		if index < fr.nextIndex || index > fr.nextIndex+maxIndexGap {
-			return nil, nil, 0, fmt.Errorf("%w: got segment %d, want >= %d", ErrFrameOrder, index, fr.nextIndex)
+		lo, hi := fr.nextIndex, fr.nextIndex+maxIndexGap
+		if rep := fr.rep; rep != nil && !rep.disabled {
+			// Repair mode holds frames until their group closes, so the
+			// strict cursor can have been dragged ahead by an imposter
+			// (index-varint flip). Accept anything not yet delivered; the
+			// group buffer sorts out who is real.
+			lo = rep.deliverNext
+			if h := rep.maxSeen + 1 + maxIndexGap; h > hi {
+				hi = h
+			}
+		}
+		if index < lo || index > hi {
+			return nil, nil, nil, 0, fmt.Errorf("%w: got segment %d, want >= %d", ErrFrameOrder, index, lo)
 		}
 		if !fr.ensure(p + 4 + compLen) {
-			return nil, nil, 0, errNeedMore
+			return nil, nil, nil, 0, errNeedMore
 		}
 		crc := binary.BigEndian.Uint32(fr.buf[p : p+4])
 		p += 4
 		container := fr.buf[p : p+compLen]
 		if Checksum32(container) != crc {
-			return nil, nil, 0, fmt.Errorf("%w: segment %d", ErrFrameChecksum, index)
+			return nil, nil, nil, 0, fmt.Errorf("%w: segment %d", ErrFrameChecksum, index)
 		}
 		// Copy out: the window's backing array is reused as it slides.
 		c := make([]byte, compLen)
 		copy(c, container)
-		return &SegmentFrame{Index: index, RawLen: rawLen, Container: c}, nil, p + compLen - pos, nil
+		return &SegmentFrame{Index: index, RawLen: rawLen, Container: c}, nil, nil, p + compLen - pos, nil
 	case frameMarkerTrailer:
 		segments, n, err := fr.varintAt(p)
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, nil, 0, err
 		}
 		p += n
 		totalLen, n, err := fr.varintAt(p)
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, nil, 0, err
 		}
 		p += n
 		if !fr.ensure(p + 4) {
-			return nil, nil, 0, errNeedMore
+			return nil, nil, nil, 0, errNeedMore
 		}
 		t := &StreamTrailer{Segments: segments, TotalLen: totalLen, Checksum: binary.BigEndian.Uint32(fr.buf[p : p+4])}
 		p += 4
@@ -241,10 +253,10 @@ func (fr *FrameReader) tryRecord(pos int) (*SegmentFrame, *StreamTrailer, int, e
 			// mode, so salvage and normal decoding agree on pristine
 			// streams.
 			if t.Segments != fr.nextIndex {
-				return nil, nil, 0, fmt.Errorf("%w: trailer counts %d segments, stream carried %d", ErrCorrupt, t.Segments, fr.nextIndex)
+				return nil, nil, nil, 0, fmt.Errorf("%w: trailer counts %d segments, stream carried %d", ErrCorrupt, t.Segments, fr.nextIndex)
 			}
 			if t.TotalLen != fr.rawTotal {
-				return nil, nil, 0, fmt.Errorf("%w: trailer totalLen %d, segment rawLens sum to %d", ErrCorrupt, t.TotalLen, fr.rawTotal)
+				return nil, nil, nil, 0, fmt.Errorf("%w: trailer totalLen %d, segment rawLens sum to %d", ErrCorrupt, t.TotalLen, fr.rawTotal)
 			}
 		case pos > 0:
 			// Resynchronization candidate. The trailer record carries no
@@ -252,47 +264,137 @@ func (fr *FrameReader) tryRecord(pos int) (*SegmentFrame, *StreamTrailer, int, e
 			// bytes; demand the one property a real trailer must have —
 			// it ends the stream exactly.
 			if fr.ensure(p + 1) {
-				return nil, nil, 0, fmt.Errorf("%w: resynchronized trailer not at stream end", ErrCorrupt)
+				return nil, nil, nil, 0, fmt.Errorf("%w: resynchronized trailer not at stream end", ErrCorrupt)
 			}
 		default:
 			// pos == 0 after earlier salvage: the record boundary is
 			// trusted, and the counts legitimately disagree with what we
 			// recovered — deliver the trailer as the stream's own claim.
 		}
-		return nil, t, p - pos, nil
+		return nil, t, nil, p - pos, nil
+	case frameMarkerParity:
+		fields := make([]int, 5) // firstIndex, k, m, j, shardLen
+		for i := range fields {
+			v, n, err := fr.varintAt(p)
+			if err != nil {
+				return nil, nil, nil, 0, err
+			}
+			fields[i] = v
+			p += n
+		}
+		pf := &ParityFrame{FirstIndex: fields[0], K: fields[1], M: fields[2], J: fields[3], ShardLen: fields[4]}
+		if err := validateParityGeometry(pf.FirstIndex, pf.K, pf.M, pf.J, pf.ShardLen); err != nil {
+			return nil, nil, nil, 0, err
+		}
+		// Parity follows its group's data, so a real parity frame never
+		// describes a group starting past the reader's position.
+		bound := fr.nextIndex
+		if rep := fr.rep; rep != nil && !rep.disabled && rep.maxSeen+1 > bound {
+			bound = rep.maxSeen + 1
+		}
+		if pf.FirstIndex > bound || pf.FirstIndex+pf.K > bound+maxIndexGap {
+			return nil, nil, nil, 0, fmt.Errorf("%w: parity group at %d, reader at %d", ErrFrameOrder, pf.FirstIndex, bound)
+		}
+		pf.FrameLens = make([]int, pf.K)
+		for i := range pf.FrameLens {
+			v, n, err := fr.varintAt(p)
+			if err != nil {
+				return nil, nil, nil, 0, err
+			}
+			if v < 1 || v > pf.ShardLen {
+				return nil, nil, nil, 0, fmt.Errorf("%w: frame length %d vs shard length %d", ErrParityGeometry, v, pf.ShardLen)
+			}
+			pf.FrameLens[i] = v
+			p += n
+		}
+		if !fr.ensure(p + 4 + pf.ShardLen) {
+			return nil, nil, nil, 0, errNeedMore
+		}
+		crc := binary.BigEndian.Uint32(fr.buf[p : p+4])
+		p += 4
+		shard := fr.buf[p : p+pf.ShardLen]
+		if Checksum32(shard) != crc {
+			return nil, nil, nil, 0, fmt.Errorf("%w: parity shard %d of group at %d", ErrFrameChecksum, pf.J, pf.FirstIndex)
+		}
+		pf.Shard = make([]byte, pf.ShardLen)
+		copy(pf.Shard, shard)
+		return nil, nil, pf, p + pf.ShardLen - pos, nil
 	default:
-		return nil, nil, 0, fmt.Errorf("%w: unknown frame marker %#x", ErrCorrupt, marker)
+		return nil, nil, nil, 0, fmt.Errorf("%w: unknown frame marker %#x", ErrCorrupt, marker)
 	}
 }
 
 // nextSalvage decodes the next record in salvage mode. Damaged regions
 // come back as *CorruptSegmentError; the following call resumes at the
-// resynchronized record.
+// resynchronized record. In repair mode (see repair.go) the record flow
+// is routed through the group buffer instead.
 func (fr *FrameReader) nextSalvage() (*SegmentFrame, *StreamTrailer, error) {
+	if fr.rep != nil {
+		return fr.repairNext()
+	}
+	for {
+		frame, trailer, parity, err := fr.nextSalvageRaw()
+		if parity == nil {
+			return frame, trailer, err
+		}
+		// Parity frames are transparent outside repair mode, but a group
+		// that closes past the reader's position reveals data frames that
+		// were excised without any byte damage — report the loss the same
+		// way a clean index gap at a segment frame would.
+		if close := parity.FirstIndex + parity.K; close > fr.nextIndex {
+			cse := &CorruptSegmentError{
+				Index:  fr.nextIndex,
+				Offset: fr.recOff,
+				Err:    fmt.Errorf("%w: parity closes group at %d, reader is at %d", ErrFrameOrder, close, fr.nextIndex),
+			}
+			fr.corrupted = true
+			fr.nextIndex = close
+			return nil, nil, cse
+		}
+	}
+}
+
+// nextSalvageRaw decodes the next record in salvage mode, surfacing
+// parity frames to the caller instead of absorbing them. It does not
+// advance nextIndex for parity records — callers decide how a group
+// close moves the expected index. fr.recOff holds the returned record's
+// absolute start offset.
+func (fr *FrameReader) nextSalvageRaw() (*SegmentFrame, *StreamTrailer, *ParityFrame, error) {
 	// Deliver the record stashed behind a just-reported corruption.
 	if fr.pendFrame != nil {
 		f := fr.pendFrame
 		fr.pendFrame = nil
-		return f, nil, nil
+		return f, nil, nil, nil
 	}
 	if fr.pendTrailer != nil {
 		t := fr.pendTrailer
 		fr.pendTrailer = nil
-		return nil, t, nil
+		return nil, t, nil, nil
+	}
+	if fr.pendParity != nil {
+		p := fr.pendParity
+		fr.pendParity = nil
+		return nil, nil, p, nil
 	}
 
 	startOff := fr.off
-	frame, trailer, n, err := fr.tryRecord(0)
+	frame, trailer, parity, n, err := fr.tryRecord(0)
 	if err == nil {
 		fr.consume(n)
-		return fr.acceptSalvage(frame, trailer, startOff)
+		fr.recOff = startOff
+		if parity != nil {
+			fr.noteParity(parity)
+			return nil, nil, parity, nil
+		}
+		f, t, aerr := fr.acceptSalvage(frame, trailer, startOff)
+		return f, t, nil, aerr
 	}
 	if errors.Is(err, errNeedMore) && len(fr.buf) == 0 {
 		// Clean record boundary at end of data but no trailer was seen.
 		if fr.readErr != nil {
-			return nil, nil, fr.readErr
+			return nil, nil, nil, fr.readErr
 		}
-		return nil, nil, ErrTruncated
+		return nil, nil, nil, ErrTruncated
 	}
 
 	// Damage at the expected record position: resynchronize.
@@ -305,18 +407,18 @@ func (fr *FrameReader) nextSalvage() (*SegmentFrame, *StreamTrailer, error) {
 			// Scanned to end of data without resynchronizing: the whole
 			// tail is damage.
 			if fr.readErr != nil {
-				return nil, nil, fr.readErr
+				return nil, nil, nil, fr.readErr
 			}
 			skipped := int64(len(fr.buf))
 			fr.consume(len(fr.buf))
 			fr.corrupted = true
-			return nil, nil, &CorruptSegmentError{Index: fr.nextIndex, Offset: startOff, Skipped: skipped, Err: cause}
+			return nil, nil, nil, &CorruptSegmentError{Index: fr.nextIndex, Offset: startOff, Skipped: skipped, Err: cause}
 		}
 		b := fr.buf[skip]
-		if b != frameMarkerSegment && b != frameMarkerTrailer {
+		if b != frameMarkerSegment && b != frameMarkerTrailer && b != frameMarkerParity {
 			continue
 		}
-		f2, t2, n2, err2 := fr.tryRecord(skip)
+		f2, t2, p2, n2, err2 := fr.tryRecord(skip)
 		if err2 != nil {
 			continue // not a real record; keep scanning
 		}
@@ -324,15 +426,20 @@ func (fr *FrameReader) nextSalvage() (*SegmentFrame, *StreamTrailer, error) {
 		// recovered record for the next call.
 		fr.corrupted = true
 		cse := &CorruptSegmentError{Index: fr.nextIndex, Offset: startOff, Skipped: int64(skip), Err: cause}
+		fr.recOff = startOff + int64(skip)
 		fr.consume(skip + n2)
-		if t2 != nil {
+		switch {
+		case t2 != nil:
 			fr.pendTrailer = t2
-		} else {
+		case p2 != nil:
+			fr.noteParity(p2)
+			fr.pendParity = p2
+		default:
 			fr.nextIndex = f2.Index + 1
 			fr.rawTotal += f2.RawLen
 			fr.pendFrame = f2
 		}
-		return nil, nil, cse
+		return nil, nil, nil, cse
 	}
 }
 
@@ -370,6 +477,7 @@ func IsSalvageable(err error) bool {
 		errors.Is(err, ErrCorrupt) ||
 		errors.Is(err, ErrFrameChecksum) ||
 		errors.Is(err, ErrFrameOrder) ||
+		errors.Is(err, ErrParityGeometry) ||
 		errors.Is(err, ErrChecksum) ||
 		errors.Is(err, ErrTruncated)
 }

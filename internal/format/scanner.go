@@ -30,6 +30,14 @@ const (
 	scanTrailerSegs                   // trailer: segments varint
 	scanTrailerTotal                  // trailer: totalLen varint
 	scanTrailerCRC                    // trailer: 4 CRC bytes
+	scanParFirst                      // parity frame: firstIndex varint
+	scanParK                          // parity frame: k varint
+	scanParM                          // parity frame: m varint
+	scanParJ                          // parity frame: j varint
+	scanParShardLen                   // parity frame: shardLen varint
+	scanParFrameLens                  // parity frame: k frameLens varints
+	scanParCRC                        // parity frame: 4 CRC bytes
+	scanParPayload                    // parity frame: shardLen shard bytes
 	scanDone                          // trailer complete; no byte may follow
 )
 
@@ -46,11 +54,16 @@ type BoundaryScanner struct {
 	uv      uint64
 	uvBits  uint
 
-	off     int64 // total bytes consumed
-	good    int64 // offset just past the last complete record (header included)
-	records int   // complete segment frames seen
-	trailer bool
-	err     error
+	// In-flight parity frame fields.
+	parFirst, parK, parM, parJ, parShardLen int
+	parLensLeft                             int
+
+	off           int64 // total bytes consumed
+	good          int64 // offset just past the last complete record (header included)
+	records       int   // complete segment frames seen
+	parityRecords int   // complete parity frames seen
+	trailer       bool
+	err           error
 }
 
 // NewBoundaryScanner returns a scanner expecting a stream from its first
@@ -78,6 +91,9 @@ func (s *BoundaryScanner) Offset() int64 { return s.off }
 // Records reports the number of complete segment frames seen.
 func (s *BoundaryScanner) Records() int { return s.records }
 
+// ParityRecords reports the number of complete parity frames seen.
+func (s *BoundaryScanner) ParityRecords() int { return s.parityRecords }
+
 // TrailerDone reports whether the stream trailer has been fully consumed.
 func (s *BoundaryScanner) TrailerDone() bool { return s.trailer }
 
@@ -92,7 +108,7 @@ func (s *BoundaryScanner) Write(p []byte) (int, error) {
 	}
 	n := len(p)
 	for len(p) > 0 && s.err == nil {
-		if s.state == scanSegPayload {
+		if s.state == scanSegPayload || s.state == scanParPayload {
 			k := int64(len(p))
 			if k > s.skip {
 				k = s.skip
@@ -101,7 +117,11 @@ func (s *BoundaryScanner) Write(p []byte) (int, error) {
 			s.off += k
 			s.skip -= k
 			if s.skip == 0 {
-				s.completeFrame()
+				if s.state == scanParPayload {
+					s.completeParity()
+				} else {
+					s.completeFrame()
+				}
 			}
 			continue
 		}
@@ -119,6 +139,15 @@ func (s *BoundaryScanner) Write(p []byte) (int, error) {
 // completeFrame closes out one segment frame.
 func (s *BoundaryScanner) completeFrame() {
 	s.records++
+	s.good = s.off
+	s.state = scanMarker
+}
+
+// completeParity closes out one parity frame: it advances the good
+// offset (a commit is meaningful after it) without counting as a
+// segment record.
+func (s *BoundaryScanner) completeParity() {
+	s.parityRecords++
 	s.good = s.off
 	s.state = scanMarker
 }
@@ -155,6 +184,8 @@ func (s *BoundaryScanner) step(b byte) {
 			s.state = scanSegIndex
 		case frameMarkerTrailer:
 			s.state = scanTrailerSegs
+		case frameMarkerParity:
+			s.state = scanParFirst
 		default:
 			s.fail(fmt.Errorf("%w: unknown frame marker %#x at offset %d", ErrCorrupt, b, s.off-1))
 		}
@@ -213,6 +244,61 @@ func (s *BoundaryScanner) step(b byte) {
 			s.trailer = true
 			s.good = s.off
 			s.state = scanDone
+		}
+	case scanParFirst:
+		if v, done := s.varint(b); done {
+			s.parFirst = int(v)
+			s.state = scanParK
+		}
+	case scanParK:
+		if v, done := s.varint(b); done {
+			s.parK = int(v)
+			s.state = scanParM
+		}
+	case scanParM:
+		if v, done := s.varint(b); done {
+			s.parM = int(v)
+			s.state = scanParJ
+		}
+	case scanParJ:
+		if v, done := s.varint(b); done {
+			s.parJ = int(v)
+			s.state = scanParShardLen
+		}
+	case scanParShardLen:
+		if v, done := s.varint(b); done {
+			s.parShardLen = int(v)
+			if err := validateParityGeometry(s.parFirst, s.parK, s.parM, s.parJ, s.parShardLen); err != nil {
+				s.fail(err)
+				return
+			}
+			// The writer emits parity immediately after its group's last
+			// data frame.
+			if s.parFirst+s.parK != s.records {
+				s.fail(fmt.Errorf("%w: emitting parity for [%d,%d), stream carries %d segments",
+					ErrFrameOrder, s.parFirst, s.parFirst+s.parK, s.records))
+				return
+			}
+			s.parLensLeft = s.parK
+			s.state = scanParFrameLens
+		}
+	case scanParFrameLens:
+		if v, done := s.varint(b); done {
+			if v < 1 || int(v) > s.parShardLen {
+				s.fail(fmt.Errorf("%w: frame length %d vs shard length %d", ErrParityGeometry, v, s.parShardLen))
+				return
+			}
+			s.parLensLeft--
+			if s.parLensLeft == 0 {
+				s.need = 4
+				s.state = scanParCRC
+			}
+		}
+	case scanParCRC:
+		s.need--
+		if s.need == 0 {
+			s.skip = int64(s.parShardLen)
+			s.state = scanParPayload
 		}
 	case scanDone:
 		s.fail(fmt.Errorf("%w: %d byte(s) after the stream trailer", ErrCorrupt, 1))

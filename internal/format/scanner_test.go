@@ -2,6 +2,7 @@ package format
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -167,4 +168,54 @@ func TestBoundaryScannerRejectsStructuralViolations(t *testing.T) {
 			t.Fatal("trailer with wrong segment count accepted")
 		}
 	})
+}
+
+// TestBoundaryScannerParityStream: parity frames advance the good
+// offset without counting as segment records, byte-at-a-time included.
+func TestBoundaryScannerParityStream(t *testing.T) {
+	segs := buildParitySegs(5) // k=2, m=2: short final group of 1
+	stream, recOffs, trailerOff := buildParityStreamOffs(t, segs, 2, 2)
+
+	s := NewBoundaryScanner()
+	for _, b := range stream { // byte at a time: exercises every state edge
+		if _, err := s.Write([]byte{b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.TrailerDone() || s.GoodOffset() != int64(len(stream)) {
+		t.Fatalf("trailer=%v good=%d want %d", s.TrailerDone(), s.GoodOffset(), len(stream))
+	}
+	if s.Records() != 5 {
+		t.Fatalf("records = %d, want 5", s.Records())
+	}
+	if s.ParityRecords() != 6 { // 3 groups x m=2
+		t.Fatalf("parity records = %d, want 6", s.ParityRecords())
+	}
+
+	// Good offset lands exactly on record boundaries mid-stream.
+	s = NewBoundaryScanner()
+	if _, err := s.Write(stream[:recOffs[3]+1]); err != nil { // 1 byte into record 3
+		t.Fatal(err)
+	}
+	if s.GoodOffset() != int64(recOffs[3]) {
+		t.Fatalf("good = %d, want boundary %d", s.GoodOffset(), recOffs[3])
+	}
+	_ = trailerOff
+
+	// Parity emitted at the wrong position is a framing bug.
+	frames := make([][]byte, 2)
+	for i := range frames {
+		frames[i] = AppendSegmentFrame(nil, i, len(segs[i][0]), segs[i][1])
+	}
+	pfs, err := BuildParityFrames(0, frames, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := AppendStreamHeader(nil, 1<<16)
+	bad = append(bad, frames[0]...) // only 1 of the group's 2 frames written
+	bad = AppendParityFrame(bad, pfs[0])
+	s = NewBoundaryScanner()
+	if _, err := s.Write(bad); !errors.Is(err, ErrFrameOrder) {
+		t.Fatalf("misplaced parity: %v, want ErrFrameOrder", err)
+	}
 }

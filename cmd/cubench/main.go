@@ -9,8 +9,8 @@
 //	cubench -figure 4                          only Figure 4
 //	cubench -ablation shared,tpb,window        selected ablations
 //	cubench -serial-search hashchain           fast serial baseline (§VII)
-//	cubench -json > BENCH_6.json               machine-readable bench report
-//	cubench -json -against BENCH_6.json        fail on >25% throughput regression
+//	cubench -json > BENCH_9.json               machine-readable bench report
+//	cubench -json -against BENCH_9.json        fail on >25% throughput regression
 //
 // CPU rows are wall-clock on this host; CULZSS rows are the cudasim
 // GTX 480 model's simulated end-to-end times. Each GPU cell also reports
@@ -57,7 +57,7 @@ func run(args []string, out io.Writer) error {
 		workers      = fs.Int("workers", 0, "pthread-version worker count (0 = GOMAXPROCS)")
 		tables       = fs.String("table", "", "comma list of tables to run: 1,2,3 (empty with no -figure/-ablation = all)")
 		figures      = fs.String("figure", "", "comma list of figures: 4")
-		ablations    = fs.String("ablation", "", "comma list: shared,tpb,window,bank,search,streams,multigpu,hybrid,autoselect,gpupost,devices,parse")
+		ablations    = fs.String("ablation", "", "comma list: shared,tpb,window,bank,search,streams,multigpu,hybrid,autoselect,gpupost,devices,parse,decode")
 		serialSearch = fs.String("serial-search", "brute", "serial baseline matcher: brute (paper) or hashchain (§VII)")
 		quiet        = fs.Bool("q", false, "suppress per-cell progress on stderr")
 		asCSV        = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
@@ -156,6 +156,7 @@ func run(args []string, out io.Writer) error {
 		{"gpupost", harness.ExtensionGPUPostPass},
 		{"devices", harness.ExtensionDeviceSweep},
 		{"parse", harness.ExtensionOptimalParse},
+		{"decode", harness.ExtensionParallelDecode},
 	} {
 		if !want(*ablations, a.key) {
 			continue
@@ -191,6 +192,12 @@ func runBench(cfg harness.Config, searchName, against string, tolerance float64,
 		Saturated:    cfg.Saturated,
 		Modeled:      true,
 	})
+	decodeCells, err := harness.ReaderDecodeCells(cfg, []int{1, 8})
+	if err != nil {
+		return err
+	}
+	rep.Cells = append(rep.Cells, decodeCells...)
+	rep.Sort()
 	if err := rep.WriteJSON(out); err != nil {
 		return err
 	}

@@ -79,8 +79,18 @@ func TestJSONBenchAndAgainst(t *testing.T) {
 	if !rep.Config.Modeled || rep.Config.Size != 64<<10 {
 		t.Fatalf("report config wrong: %+v", rep.Config)
 	}
-	if len(rep.Cells) != 25 {
-		t.Fatalf("report has %d cells, want the 5x5 grid", len(rep.Cells))
+	// 5x5 compression grid plus the two Reader decode-pipeline cells.
+	if len(rep.Cells) != 27 {
+		t.Fatalf("report has %d cells, want the 5x5 grid + 2 decode cells", len(rep.Cells))
+	}
+	decode := 0
+	for _, c := range rep.Cells {
+		if strings.HasPrefix(c.System, "Reader ") {
+			decode++
+		}
+	}
+	if decode != 2 {
+		t.Fatalf("report has %d Reader decode cells, want 2", decode)
 	}
 
 	// ...and -against that same report passes (the modeled basis makes

@@ -143,6 +143,8 @@ func run(args []string) error {
 		gpuTimeout = fs.Duration("gpu-timeout", 0, "watchdog deadline per GPU dispatch; a hung kernel is cut and the work degrades to the CPU encoder (implies -degrade)")
 		degrade    = fs.Bool("degrade", false, "supervise the GPU path: launch failures quarantine the device and the work degrades to the byte-identical CPU encoder instead of failing")
 		metricsOut = fs.Bool("metrics", false, "dump the run's metrics (Prometheus text format) to stderr when done")
+		dWorkers   = fs.Int("workers", 0, "with -d on a framed stream: decode worker-pool size — that many segments decompress concurrently, delivery stays in order (0 = GOMAXPROCS)")
+		dPrefetch  = fs.Int("prefetch", 0, "with -d on a framed stream: records read ahead of delivery (0 = worker count)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -276,7 +278,12 @@ func run(args []string) error {
 		defer src.Close()
 		// -salvage implies repair: when the stream carries parity frames,
 		// damage is healed bit-identically before skip is even considered.
-		ropts := core.ReaderOptions{Salvage: *salvage, Repair: *salvage}
+		ropts := core.ReaderOptions{
+			Salvage:     *salvage,
+			Repair:      *salvage,
+			HostWorkers: *dWorkers,
+			Prefetch:    *dPrefetch,
+		}
 		if *salvage {
 			// Damage is reported as it is discovered, before the next
 			// intact segment is served.
@@ -291,6 +298,9 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		// A Reader read to EOF tears its pipeline down itself; Close covers
+		// the error paths that abandon the stream midway.
+		defer r.Close()
 		dst, err := openOutput(out)
 		if err != nil {
 			return err

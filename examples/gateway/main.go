@@ -136,11 +136,13 @@ func main() {
 		done <- out
 	}()
 
-	// Egress gateway: framed stream in, plain out. core.NewReader decodes
-	// incrementally, so the gateway's memory stays O(segment). Repair
-	// mode upgrades salvage from skip to heal: a damaged frame is rebuilt
-	// bit-identically from its parity group, and only damage past the
-	// parity budget would cost the segment.
+	// Egress gateway: framed stream in, plain out. The Reader's decode
+	// pipeline overlaps segment decompressions (four workers here) while
+	// delivery stays in stream order, so the gateway's memory stays
+	// O(MaxInFlight segments). Repair mode upgrades salvage from skip to
+	// heal: a damaged frame is rebuilt bit-identically from its parity
+	// group, and only damage past the parity budget would cost the
+	// segment — the repair bookkeeping is unchanged by the concurrency.
 	healed := make(chan int, 1) // data frames rebuilt from parity
 	go func() {
 		in := accept(egressIn)
@@ -148,7 +150,9 @@ func main() {
 		out := dial(consumerIn)
 		defer out.Close()
 		r, err := core.NewReaderOptions(in, core.Params{Obs: reg}, core.ReaderOptions{
-			Repair: true,
+			Repair:      true,
+			HostWorkers: 4,
+			Prefetch:    8,
 			OnRepair: func(rse *format.RepairedSegmentError) {
 				log.Print("egress: repaired damaged region: ", rse)
 			},
@@ -169,6 +173,9 @@ func main() {
 		for _, rse := range r.RepairedSegments() {
 			frames += len(rse.Frames)
 		}
+		st := r.Stats()
+		log.Printf("egress: decode pipeline: %d segments, peak in-flight %d, buffer pool %d hits / %d misses",
+			st.Segments, st.MaxInFlight, st.PoolHits, st.PoolMisses)
 		healed <- frames
 	}()
 

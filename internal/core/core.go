@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -268,21 +269,31 @@ func Decompress(container []byte, p Params) ([]byte, error) {
 // DecompressWithReport additionally returns the GPU report for GPU-coded
 // containers (nil otherwise).
 func DecompressWithReport(container []byte, p Params) ([]byte, *gpu.Report, error) {
+	return decompressInto(nil, container, p, nil, p.HostWorkers)
+}
+
+// decompressInto is the decode core shared by Decompress and the
+// streaming Reader's pipeline workers: Decompress with a caller-provided
+// output buffer (honoured by the GPU codecs — the CPU codecs allocate
+// their own), an explicit host-worker bound, and a cancellation context
+// threaded through to the simulated device. A nil ctx means no
+// cancellation; workers <= 0 means GOMAXPROCS (the gpu layer's default).
+func decompressInto(dst, container []byte, p Params, ctx context.Context, workers int) ([]byte, *gpu.Report, error) {
 	h, _, err := format.ParseHeader(container)
 	if err != nil {
 		return nil, nil, err
 	}
 	switch h.Codec {
 	case format.CodecCULZSSV1, format.CodecCULZSSV2:
-		return gpu.Decompress(container, gpu.Options{
-			Device: p.Device, ThreadsPerBlock: p.ThreadsPerBlock, HostWorkers: p.HostWorkers,
-			Injector: p.Injector, Obs: p.Obs,
+		return gpu.DecompressInto(dst, container, gpu.Options{
+			Device: p.Device, ThreadsPerBlock: p.ThreadsPerBlock, HostWorkers: workers,
+			Injector: p.Injector, Obs: p.Obs, Context: ctx,
 		})
 	case format.CodecSerialBitPacked, format.CodecChunkedBitPacked:
-		out, err := cpulzss.Decompress(container, p.HostWorkers)
+		out, err := cpulzss.Decompress(container, workers)
 		return out, nil, err
 	case format.CodecBZip2:
-		out, err := bzip2.Decompress(container, p.HostWorkers)
+		out, err := bzip2.Decompress(container, workers)
 		return out, nil, err
 	default:
 		return nil, nil, fmt.Errorf("core: unknown codec %v", h.Codec)

@@ -164,6 +164,15 @@ type FrameReader struct {
 	// durable recovery uses to patch damage in place. The offset is -1
 	// when the original position could not be established.
 	RepairSink func(index int, off int64, encoded []byte)
+	// Lease, when non-nil, supplies the buffer behind each returned
+	// SegmentFrame.Container (both normal and salvage modes): it is
+	// called with the needed length and may return a recycled buffer of
+	// at least that capacity; a nil or short return falls back to the
+	// allocator. Ownership of the Container passes to the Next caller as
+	// usual — the streaming layer points Lease at a recycle pool and
+	// returns each container once its segment is decoded, removing the
+	// per-frame throwaway allocation. Set it before the first Next.
+	Lease func(n int) []byte
 	// ParityK and ParityM report the stream's parity geometry, learned
 	// from the first parity frame (0,0 until one is seen / for
 	// parity-less streams).
@@ -324,7 +333,7 @@ func (fr *FrameReader) nextRecord() (*SegmentFrame, *StreamTrailer, error) {
 		if _, err := io.ReadFull(fr.r, crc[:]); err != nil {
 			return nil, nil, eofToTruncated(err)
 		}
-		container := make([]byte, compLen)
+		container := fr.lease(compLen)
 		if _, err := io.ReadFull(fr.r, container); err != nil {
 			return nil, nil, eofToTruncated(err)
 		}
@@ -445,6 +454,17 @@ func (fr *FrameReader) noteParity(pf *ParityFrame) {
 	if fr.OnParity != nil {
 		fr.OnParity(pf)
 	}
+}
+
+// lease returns a length-n container buffer from the Lease hook when it
+// can satisfy the request, or the allocator.
+func (fr *FrameReader) lease(n int) []byte {
+	if fr.Lease != nil {
+		if b := fr.Lease(n); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
 }
 
 // readVarint decodes one bounded unsigned varint from r.

@@ -228,7 +228,7 @@ func (fr *FrameReader) tryRecord(pos int) (*SegmentFrame, *StreamTrailer, *Parit
 			return nil, nil, nil, 0, fmt.Errorf("%w: segment %d", ErrFrameChecksum, index)
 		}
 		// Copy out: the window's backing array is reused as it slides.
-		c := make([]byte, compLen)
+		c := fr.lease(compLen)
 		copy(c, container)
 		return &SegmentFrame{Index: index, RawLen: rawLen, Container: c}, nil, nil, p + compLen - pos, nil
 	case frameMarkerTrailer:

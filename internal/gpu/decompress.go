@@ -16,6 +16,15 @@ import (
 // CULZSS versions share this decoder ("the decompression process is
 // identical in both versions").
 func Decompress(container []byte, opts Options) ([]byte, *Report, error) {
+	return DecompressInto(nil, container, opts)
+}
+
+// DecompressInto is Decompress with allocation control: when dst has the
+// capacity for the decoded output it is overwritten and returned
+// (resliced to the decoded length), otherwise a fresh buffer is
+// allocated. The streaming Reader leases dst from a recycle pool, so
+// steady-state segment decode performs no per-segment output allocation.
+func DecompressInto(dst []byte, container []byte, opts Options) ([]byte, *Report, error) {
 	h, off, err := format.ParseHeader(container)
 	if err != nil {
 		return nil, nil, err
@@ -37,7 +46,12 @@ func Decompress(container []byte, opts Options) ([]byte, *Report, error) {
 
 	payload := container[off:]
 	bounds := h.ChunkBounds()
-	out := make([]byte, h.OriginalLen)
+	var out []byte
+	if cap(dst) >= h.OriginalLen {
+		out = dst[:h.OriginalLen]
+	} else {
+		out = make([]byte, h.OriginalLen)
+	}
 	tpb := opts.ThreadsPerBlock
 	blocks := (len(bounds) + tpb - 1) / tpb
 	if blocks == 0 {
@@ -67,13 +81,23 @@ func Decompress(container []byte, opts Options) ([]byte, *Report, error) {
 				return
 			}
 			bd := bounds[ci]
-			dst := out[bd.UncompOff:bd.UncompOff:(bd.UncompOff + bd.UncompLen)]
-			dec, derr := lzss.AppendDecodedByteAligned(dst, payload[bd.CompOff:bd.CompOff+bd.CompLen], bd.UncompLen, cfg)
+			// Decode in place: the three-index subslice pins the append
+			// destination to this chunk's slot of out, so a successful
+			// decode has already written its bytes — no copy-back. An
+			// append that outgrew the slot reallocated away from out
+			// (decode overrun past the chunk table's claim): a corrupt
+			// chunk, not a result.
+			slot := out[bd.UncompOff:bd.UncompOff:(bd.UncompOff + bd.UncompLen)]
+			dec, derr := lzss.AppendDecodedByteAligned(slot, payload[bd.CompOff:bd.CompOff+bd.CompLen], bd.UncompLen, cfg)
 			if derr != nil {
 				rec.record(ci, fmt.Errorf("gpu: chunk %d: %w", ci, derr))
 				return
 			}
-			copy(out[bd.UncompOff:], dec)
+			if len(dec) != bd.UncompLen {
+				rec.record(ci, fmt.Errorf("gpu: chunk %d: %w: decoded %d bytes, chunk table says %d",
+					ci, format.ErrCorrupt, len(dec), bd.UncompLen))
+				return
+			}
 
 			// Timing model: decompression is "mainly reading from and
 			// writing to memory" (paper §IV.D) — a short copy loop per

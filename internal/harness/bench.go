@@ -8,9 +8,9 @@ import (
 )
 
 // Bench-regression reports. cubench -json serializes a compression run
-// as one BenchReport; a committed baseline (BENCH_6.json at the repo
-// root) plus cubench -against turns any later run into a regression
-// gate. The reports are meant to ride the Modeled timing basis: every
+// (plus the Reader decode-pipeline cells) as one BenchReport; a
+// committed baseline (BENCH_9.json at the repo root) plus cubench
+// -against turns any later run into a regression gate. The reports are meant to ride the Modeled timing basis: every
 // number derives from operation counters and the simulator's schedule,
 // so a >tolerance delta is a real change in the code's work, not host
 // noise.
@@ -67,13 +67,20 @@ func BenchFromMatrix(m *Matrix, bc BenchConfig) *BenchReport {
 			})
 		}
 	}
-	sort.Slice(rep.Cells, func(i, j int) bool {
-		if rep.Cells[i].Dataset != rep.Cells[j].Dataset {
-			return rep.Cells[i].Dataset < rep.Cells[j].Dataset
-		}
-		return rep.Cells[i].System < rep.Cells[j].System
-	})
+	rep.Sort()
 	return rep
+}
+
+// Sort restores the (dataset, system) cell order after appending cells
+// outside BenchFromMatrix (the Reader decode cells), keeping the JSON
+// diff-stable.
+func (r *BenchReport) Sort() {
+	sort.Slice(r.Cells, func(i, j int) bool {
+		if r.Cells[i].Dataset != r.Cells[j].Dataset {
+			return r.Cells[i].Dataset < r.Cells[j].Dataset
+		}
+		return r.Cells[i].System < r.Cells[j].System
+	})
 }
 
 // WriteJSON writes the report as indented JSON.

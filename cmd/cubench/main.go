@@ -8,9 +8,10 @@
 //	cubench -table 1 -size 8MiB                only Table I
 //	cubench -figure 4                          only Figure 4
 //	cubench -ablation shared,tpb,window        selected ablations
+//	cubench -ablation codec                    per-segment codec routing table
 //	cubench -serial-search hashchain           fast serial baseline (§VII)
-//	cubench -json > BENCH_9.json               machine-readable bench report
-//	cubench -json -against BENCH_9.json        fail on >25% throughput regression
+//	cubench -json > BENCH_10.json              machine-readable bench report
+//	cubench -json -against BENCH_10.json       fail on >25% throughput regression
 //
 // CPU rows are wall-clock on this host; CULZSS rows are the cudasim
 // GTX 480 model's simulated end-to-end times. Each GPU cell also reports
@@ -57,7 +58,7 @@ func run(args []string, out io.Writer) error {
 		workers      = fs.Int("workers", 0, "pthread-version worker count (0 = GOMAXPROCS)")
 		tables       = fs.String("table", "", "comma list of tables to run: 1,2,3 (empty with no -figure/-ablation = all)")
 		figures      = fs.String("figure", "", "comma list of figures: 4")
-		ablations    = fs.String("ablation", "", "comma list: shared,tpb,window,bank,search,streams,multigpu,hybrid,autoselect,gpupost,devices,parse,decode")
+		ablations    = fs.String("ablation", "", "comma list: shared,tpb,window,bank,search,streams,multigpu,hybrid,autoselect,gpupost,devices,parse,decode,codec")
 		serialSearch = fs.String("serial-search", "brute", "serial baseline matcher: brute (paper) or hashchain (§VII)")
 		quiet        = fs.Bool("q", false, "suppress per-cell progress on stderr")
 		asCSV        = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
@@ -157,6 +158,7 @@ func run(args []string, out io.Writer) error {
 		{"devices", harness.ExtensionDeviceSweep},
 		{"parse", harness.ExtensionOptimalParse},
 		{"decode", harness.ExtensionParallelDecode},
+		{"codec", harness.AblationCodec},
 	} {
 		if !want(*ablations, a.key) {
 			continue
@@ -197,6 +199,11 @@ func runBench(cfg harness.Config, searchName, against string, tolerance float64,
 		return err
 	}
 	rep.Cells = append(rep.Cells, decodeCells...)
+	writerCells, err := harness.WriterCodecCells(cfg, []string{"v1", "v2", "auto"})
+	if err != nil {
+		return err
+	}
+	rep.Cells = append(rep.Cells, writerCells...)
 	rep.Sort()
 	if err := rep.WriteJSON(out); err != nil {
 		return err

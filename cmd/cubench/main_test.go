@@ -79,18 +79,22 @@ func TestJSONBenchAndAgainst(t *testing.T) {
 	if !rep.Config.Modeled || rep.Config.Size != 64<<10 {
 		t.Fatalf("report config wrong: %+v", rep.Config)
 	}
-	// 5x5 compression grid plus the two Reader decode-pipeline cells.
-	if len(rep.Cells) != 27 {
-		t.Fatalf("report has %d cells, want the 5x5 grid + 2 decode cells", len(rep.Cells))
+	// 5x5 compression grid plus the two Reader decode-pipeline cells and
+	// the three Writer codec-routing cells.
+	if len(rep.Cells) != 30 {
+		t.Fatalf("report has %d cells, want the 5x5 grid + 2 decode + 3 writer cells", len(rep.Cells))
 	}
-	decode := 0
+	decode, writer := 0, 0
 	for _, c := range rep.Cells {
 		if strings.HasPrefix(c.System, "Reader ") {
 			decode++
 		}
+		if strings.HasPrefix(c.System, "Writer ") {
+			writer++
+		}
 	}
-	if decode != 2 {
-		t.Fatalf("report has %d Reader decode cells, want 2", decode)
+	if decode != 2 || writer != 3 {
+		t.Fatalf("report has %d Reader / %d Writer cells, want 2 / 3", decode, writer)
 	}
 
 	// ...and -against that same report passes (the modeled basis makes

@@ -26,6 +26,8 @@
 //	culzss -d compressed.clz restored.dat
 //	culzss -window 64 -tpb 128 -verify data.bin
 //	tar c dir | culzss -stream -segment 262144 - - | ssh host culzss -d - -
+//	culzss -stream -codec v2 kernel.tar kernel.clzs # match-per-thread kernel
+//	culzss -stream -codec auto mixed.dat out.clzs   # per-segment V2/V1/raw
 //	culzss -d -salvage damaged.clzs recovered.dat   # skip damaged segments
 //	culzss -degrade -gpu-timeout 5s -stats big.dat  # supervised GPU dispatch
 //
@@ -72,14 +74,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"path/filepath"
 
+	"culzss/internal/codec"
 	"culzss/internal/core"
 	"culzss/internal/durable"
 	"culzss/internal/format"
+	"culzss/internal/gpu"
 	"culzss/internal/health"
 	"culzss/internal/lzss"
 	"culzss/internal/obs"
@@ -127,6 +132,7 @@ func run(args []string) error {
 		info       = fs.Bool("info", false, "describe a container and exit")
 		dump       = fs.Bool("dump", false, "print token statistics of a CULZSS container and exit")
 		version    = fs.String("version", "auto", "implementation: auto, 1, 2, serial, parallel")
+		codecName  = fs.String("codec", "", "segment codec by registry name: v1, v2, cpu, pthread, bzip2, raw, or auto (adaptive per-segment selection); overrides -version")
 		chunk      = fs.Int("chunk", 0, "chunk size in bytes (0 = version default)")
 		tpb        = fs.Int("tpb", 0, "GPU threads per block (0 = 128)")
 		window     = fs.Int("window", 0, "sliding window size (0 = version default)")
@@ -177,6 +183,12 @@ func run(args []string) error {
 	}
 	if *gpuTimeout < 0 {
 		return fmt.Errorf("-gpu-timeout must be >= 0, got %v", *gpuTimeout)
+	}
+	if *codecName != "" && *codecName != codec.Auto {
+		if _, ok := codec.ByName(*codecName); !ok {
+			return fmt.Errorf("unknown -codec %q (registered: %s, or %q)",
+				*codecName, strings.Join(codec.Names(), ", "), codec.Auto)
+		}
 	}
 	if *metricsOut {
 		// Arm the observability registry and dump it on the way out —
@@ -372,10 +384,10 @@ func run(args []string) error {
 	}
 
 	if *resume {
-		return compressDurable(in, out, params, *segment, *commitEach, parityCfg, *showStats, openInput)
+		return compressDurable(in, out, params, *segment, *commitEach, parityCfg, *codecName, *showStats, openInput)
 	}
 	if *stream {
-		return compressStream(in, out, params, *segment, parityCfg, *showStats, openInput, openOutput)
+		return compressStream(in, out, params, *segment, parityCfg, *codecName, *showStats, openInput, openOutput)
 	}
 
 	data, err := readInput()
@@ -383,7 +395,15 @@ func run(args []string) error {
 		return err
 	}
 	start := time.Now()
-	comp, report, err := core.CompressWithReport(data, params)
+	var (
+		comp   []byte
+		report *gpu.Report
+	)
+	if *codecName != "" {
+		comp, report, err = core.CompressCodec(data, *codecName, params)
+	} else {
+		comp, report, err = core.CompressWithReport(data, params)
+	}
 	if err != nil {
 		return err
 	}
@@ -534,7 +554,7 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // incrementally (never fully buffered), segments compress concurrently,
 // and the output is a self-describing framed stream that decompresses
 // through the ordinary -d path.
-func compressStream(in, out string, params core.Params, segment int, parity core.ParityConfig, showStats bool,
+func compressStream(in, out string, params core.Params, segment int, parity core.ParityConfig, codecName string, showStats bool,
 	openInput func() (io.ReadCloser, error), openOutput func(string) (io.WriteCloser, error)) error {
 	src, err := openInput()
 	if err != nil {
@@ -547,7 +567,7 @@ func compressStream(in, out string, params core.Params, segment int, parity core
 	}
 	start := time.Now()
 	cw := &countingWriter{w: dst}
-	w := core.NewWriterOptions(cw, params, core.StreamOptions{SegmentSize: segment, Parity: parity})
+	w := core.NewWriterOptions(cw, params, core.StreamOptions{SegmentSize: segment, Parity: parity, Codec: codecName})
 	n, err := io.Copy(w, src)
 	if cerr := w.Close(); err == nil {
 		err = cerr
@@ -580,7 +600,7 @@ func compressStream(in, out string, params core.Params, segment int, parity core
 // it is scanned, truncated to the last verifiable frame, and continued —
 // the already-covered input prefix is skipped, so the finished file
 // matches an uninterrupted run byte for byte.
-func compressDurable(in, out string, params core.Params, segment, commitEvery int, parity core.ParityConfig, showStats bool,
+func compressDurable(in, out string, params core.Params, segment, commitEvery int, parity core.ParityConfig, codecName string, showStats bool,
 	openInput func() (io.ReadCloser, error)) error {
 	if out == "-" {
 		return fmt.Errorf("-resume needs a real output file, not stdout")
@@ -593,7 +613,7 @@ func compressDurable(in, out string, params core.Params, segment, commitEvery in
 	start := time.Now()
 	opts := durable.Options{
 		CommitEverySegments: commitEvery,
-		Stream:              core.StreamOptions{SegmentSize: segment, Parity: parity},
+		Stream:              core.StreamOptions{SegmentSize: segment, Parity: parity, Codec: codecName},
 	}
 	var (
 		w   *durable.Writer
@@ -664,8 +684,15 @@ func describeStream(path string, f *os.File) error {
 			if fr.ParityK > 0 {
 				fmt.Printf("parity:        %d+%d (%d parity frames)\n", fr.ParityK, fr.ParityM, fr.ParityFrames)
 			}
-			for c, n := range codecs {
-				fmt.Printf("codec:         %v (%d segments)\n", c, n)
+			// Sorted by codec value: adaptive streams mix codecs, and the
+			// tally must print identically run to run.
+			var order []format.Codec
+			for c := range codecs {
+				order = append(order, c)
+			}
+			sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+			for _, c := range order {
+				fmt.Printf("codec:         %v (%d segments)\n", c, codecs[c])
 			}
 			fmt.Printf("original len:  %s\n", stats.FormatBytes(int64(trailer.TotalLen)))
 			fmt.Printf("framed len:    %s\n", stats.FormatBytes(int64(compTotal)))

@@ -192,6 +192,29 @@ func TestStreamMode(t *testing.T) {
 	}
 }
 
+// The -codec flag routes stream segments by registry name; the sniffing
+// decompress path reads adaptive and raw-store streams back unchanged.
+func TestStreamCodecFlag(t *testing.T) {
+	dir := t.TempDir()
+	in, data := writeInput(t, dir)
+	for _, name := range []string{"auto", "raw"} {
+		out := filepath.Join(dir, name+".clzs")
+		if err := run([]string{"-stream", "-segment", "8192", "-codec", name, in, out}); err != nil {
+			t.Fatalf("-codec %s: %v", name, err)
+		}
+		back := filepath.Join(dir, name+".out")
+		if err := run([]string{"-d", out, back}); err != nil {
+			t.Fatalf("-codec %s decode: %v", name, err)
+		}
+		if got, err := os.ReadFile(back); err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("-codec %s round trip failed: %v", name, err)
+		}
+	}
+	if err := run([]string{"-stream", "-codec", "banana", in, filepath.Join(dir, "x.clzs")}); err == nil {
+		t.Fatal("unknown -codec name accepted")
+	}
+}
+
 func TestStreamModePipes(t *testing.T) {
 	dir := t.TempDir()
 	in, data := writeInput(t, dir)

@@ -38,13 +38,25 @@
 // healed region is logged, and the repair counters land on /metrics
 // alongside everything else.
 //
+// Real gateway traffic is not uniformly compressible, so the ingress
+// writes with the adaptive codec selector (StreamOptions.Codec "auto"):
+// each segment is probed and encoded with the engine that fits it — the
+// match-per-thread V2 kernel for ordinary data, the chunk-per-thread V1
+// kernel for highly compressible runs, and the raw store for segments
+// LZSS would expand (already-compressed or encrypted payloads). The
+// choice is recorded in each frame's embedded container codec byte, so
+// the egress needs no negotiation: its decode workers dispatch per
+// frame. The transfer below mixes all three kinds of data on purpose.
+//
 // The gateway also exposes the observability layer a production
 // deployment would scrape: an HTTP debug server (default on an ephemeral
 // loopback port, -debug-addr to pin it) serving Prometheus-style metrics
 // at /metrics and the standard pprof handlers under /debug/pprof/. After
 // the transfer the example scrapes its own /metrics and verifies the
-// exported counters reconcile exactly with Writer.Stats(). Pass -hold to
-// keep the server up afterwards for manual scraping / profiling.
+// exported counters reconcile exactly with Writer.Stats() — including
+// the per-codec culzss_segments_total series against the selector's
+// actual choices. Pass -hold to keep the server up afterwards for manual
+// scraping / profiling.
 //
 // Run with:
 //
@@ -60,6 +72,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -67,6 +80,7 @@ import (
 	"strings"
 	"time"
 
+	"culzss/internal/codec"
 	"culzss/internal/core"
 	"culzss/internal/cudasim"
 	"culzss/internal/datasets"
@@ -111,7 +125,7 @@ func main() {
 	hold := flag.Duration("hold", 0, "keep the debug server up this long after the transfer (0 = exit immediately)")
 	flag.Parse()
 
-	payload := datasets.KernelTarball(4<<20, 7) // "a file transfer"
+	payload := buildPayload() // "a file transfer" of mixed compressibility
 
 	// The observability registry: both gateways, the device pool, and the
 	// supervisor all report into it, and the debug server exposes it.
@@ -202,6 +216,7 @@ func main() {
 	// hostile hop would do it.
 	injector := faults.New(wireFaultSeed)
 	degraded := make(chan core.WriterStats, 1)
+	mixCh := make(chan map[format.Codec]int, 1)
 	go func() {
 		in := accept(ingressIn)
 		defer in.Close()
@@ -210,17 +225,21 @@ func main() {
 		cw := &countingWriter{w: conn}
 		wire := injector.CorruptWriter(cw, wireBurstGap, faults.BurstErrors(wireBurstLen))
 		params := core.Params{
-			Version: core.Version1,
-			Health:  sup,
-			Obs:     reg,
+			Health: sup,
+			Obs:    reg,
 		}
+		codecMix := map[format.Codec]int{}
 		w := core.NewWriterOptions(wire, params, core.StreamOptions{
 			SegmentSize: segmentSize,
+			Codec:       codec.Auto, // per-segment V2 / V1 / raw-store selection
 			Parity:      core.ParityConfig{K: parityK, M: parityM},
 			Retry: core.RetryPolicy{
 				MaxAttempts: 2, // fail fast in the demo; default is 3
 				BaseBackoff: 500 * time.Microsecond,
 			},
+			// Runs on the emitter goroutine in stream order; the map is
+			// only read after Close has joined the emitter.
+			OnSegment: func(sr core.SegmentReport) { codecMix[sr.Codec]++ },
 		})
 		if _, err := io.Copy(w, in); err != nil {
 			log.Fatal("ingress compress:", err)
@@ -229,6 +248,7 @@ func main() {
 			log.Fatal("ingress close:", err)
 		}
 		degraded <- w.Stats()
+		mixCh <- codecMix
 		hop <- cw.n
 	}()
 
@@ -241,10 +261,20 @@ func main() {
 
 	delivered := <-done
 	ws := <-degraded
+	codecMix := <-mixCh
 	hopBytes := <-hop
 	healedFrames := <-healed
 	if !bytes.Equal(delivered, payload) {
 		log.Fatal("delivered data differs from what was sent")
+	}
+	var mixParts []string
+	for _, e := range codec.Engines() {
+		if n := codecMix[e.Codec()]; n > 0 {
+			mixParts = append(mixParts, fmt.Sprintf("%d %s", n, e.Name()))
+		}
+	}
+	if len(mixParts) < 2 {
+		log.Fatal("the mixed payload was meant to exercise several codecs, but the selector picked only one")
 	}
 	wireDamage := injector.Counts(faults.SiteFrame).Injected
 	if wireDamage == 0 {
@@ -256,6 +286,8 @@ func main() {
 	fmt.Printf("delivered %s end to end, byte-identical\n", stats.FormatBytes(int64(len(delivered))))
 	fmt.Printf("hostile wire corrupted %d byte(s) in transit; egress rebuilt %d frame(s) from %d+%d parity — nothing skipped\n",
 		wireDamage, healedFrames, parityK, parityM)
+	fmt.Printf("adaptive selector chose %s across %d segments, recorded per frame in each container's codec byte\n",
+		strings.Join(mixParts, " / "), ws.Segments)
 	fmt.Printf("gateway rode out a dead GPU: %d/%d segments re-dispatched to the healthy device, %d degraded to CPU, %d device(s) quarantined\n",
 		ws.Redispatched, ws.Segments, ws.Degraded, ws.Quarantined)
 	for _, ev := range sup.Events() {
@@ -270,10 +302,11 @@ func main() {
 	// exactly with the Writer's view of the same run — the check a
 	// monitoring stack implicitly depends on.
 	scraped := scrape(metricsURL)
-	checks := []struct {
+	type check struct {
 		series string
 		want   int
-	}{
+	}
+	checks := []check{
 		{"culzss_writer_segments_total", ws.Segments},
 		{"culzss_writer_retries_total", ws.Retries},
 		{"culzss_writer_degraded_total", ws.Degraded},
@@ -283,6 +316,13 @@ func main() {
 		{"culzss_health_quarantined_devices", ws.Quarantined},
 		{"culzss_repair_repaired_total", healedFrames},
 		{"culzss_reader_corrupt_segments_total", 0},
+	}
+	// The per-codec segment series must match the selector's actual
+	// choices, one labelled series per codec the stream used.
+	for _, e := range codec.Engines() {
+		if n := codecMix[e.Codec()]; n > 0 {
+			checks = append(checks, check{fmt.Sprintf(`culzss_segments_total{codec=%q}`, e.Name()), n})
+		}
 	}
 	ok := true
 	for _, c := range checks {
@@ -325,8 +365,9 @@ func serveDebug(addr string, reg *obs.Registry) string {
 }
 
 // scrape GETs a Prometheus text exposition and returns every
-// integer-valued, label-free series (the counters and gauges the
-// reconciliation check needs).
+// integer-valued series the reconciliation check needs, keyed by the
+// series name including its rendered label set (e.g.
+// `culzss_segments_total{codec="v2"}`).
 func scrape(url string) map[string]int64 {
 	resp, err := http.Get(url)
 	if err != nil {
@@ -341,7 +382,7 @@ func scrape(url string) map[string]int64 {
 			continue
 		}
 		name, value, ok := strings.Cut(line, " ")
-		if !ok || strings.Contains(name, "{") {
+		if !ok {
 			continue
 		}
 		v, err := strconv.ParseInt(value, 10, 64)
@@ -354,6 +395,19 @@ func scrape(url string) map[string]int64 {
 		log.Fatal("scrape read:", err)
 	}
 	return out
+}
+
+// buildPayload composes a transfer with genuinely different regions, so
+// the adaptive selector has real per-segment choices: a kernel tarball
+// (~55% compressible — V2 territory), a highly compressible log-like
+// block (V1 territory), and an incompressible already-encrypted tail
+// (raw-store territory).
+func buildPayload() []byte {
+	out := datasets.KernelTarball(2<<20, 7)
+	out = append(out, datasets.HighlyCompressible(1<<20, 9)...)
+	tail := make([]byte, 1<<20)
+	rand.New(rand.NewSource(13)).Read(tail)
+	return append(out, tail...)
 }
 
 func listen() net.Listener {

@@ -1,0 +1,71 @@
+package codec
+
+import (
+	"culzss/internal/format"
+	"culzss/internal/lzss"
+)
+
+// Auto is the StreamOptions.Codec / CLI value selecting the adaptive
+// per-segment engine choice implemented by Select.
+const Auto = "auto"
+
+// selectSampleLen is the probe size: enough bytes for a stable ratio
+// estimate, cheap next to compressing the segment itself.
+const selectSampleLen = 32 << 10
+
+// Ratio thresholds (compressed/original of the probe):
+//   - >= rawThreshold: LZSS cannot shrink the sample, so token framing
+//     would expand the segment — store it raw (GPULZ and CODAG make the
+//     same call for incompressible pages).
+//   - < v1Threshold: highly compressible — V1 wins (§V, Table I's
+//     crossover: DE map and highly-compressible favour V1).
+//   - otherwise: V2, the paper's headline kernel for ~50%-or-less
+//     compressible data.
+const (
+	rawThreshold = 1.0
+	v1Threshold  = 0.45
+)
+
+// Select is the adaptive per-segment selector: it compresses a small
+// middle sample with a fast matcher and picks the engine by the
+// observed ratio — V2 / V1 / raw-store. The choice is recorded in the
+// emitted container's codec byte, so a stream may change engines at
+// every segment and any Reader dispatches per frame with no extra wire
+// state.
+func Select(data []byte) Engine {
+	c := SelectCodec(data)
+	e, ok := Lookup(c)
+	if !ok {
+		// The built-ins register at init; reaching this means the
+		// registry was torn apart. Fail closed with raw (always present
+		// semantics: store the bytes).
+		e, _ = Lookup(format.CodecStoreRaw)
+	}
+	return e
+}
+
+// SelectCodec is Select returning just the codec identity.
+func SelectCodec(data []byte) format.Codec {
+	sample := data
+	if len(sample) > selectSampleLen {
+		// Sample from the middle: file headers are unrepresentative.
+		start := (len(data) - selectSampleLen) / 2
+		sample = data[start : start+selectSampleLen]
+	}
+	if len(sample) == 0 {
+		return format.CodecStoreRaw
+	}
+	comp, err := lzss.EncodeByteAligned(sample, lzss.CULZSSV1(), lzss.SearchHashChain, nil)
+	if err != nil {
+		return format.CodecCULZSSV2
+	}
+	ratio := float64(len(comp)) / float64(len(sample))
+	switch {
+	case ratio >= rawThreshold:
+		return format.CodecStoreRaw
+	case ratio < v1Threshold:
+		return format.CodecCULZSSV1
+	default:
+		return format.CodecCULZSSV2
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"culzss/internal/bzip2"
+	"culzss/internal/codec"
 	"culzss/internal/cpulzss"
 	"culzss/internal/cudasim"
 	"culzss/internal/faults"
@@ -283,21 +284,80 @@ func decompressInto(dst, container []byte, p Params, ctx context.Context, worker
 	if err != nil {
 		return nil, nil, err
 	}
-	switch h.Codec {
-	case format.CodecCULZSSV1, format.CodecCULZSSV2:
-		return gpu.DecompressInto(dst, container, gpu.Options{
-			Device: p.Device, ThreadsPerBlock: p.ThreadsPerBlock, HostWorkers: workers,
-			Injector: p.Injector, Obs: p.Obs, Context: ctx,
-		})
-	case format.CodecSerialBitPacked, format.CodecChunkedBitPacked:
-		out, err := cpulzss.Decompress(container, workers)
-		return out, nil, err
-	case format.CodecBZip2:
-		out, err := bzip2.Decompress(container, workers)
-		return out, nil, err
-	default:
-		return nil, nil, fmt.Errorf("core: unknown codec %v", h.Codec)
+	eng, ok := codec.Lookup(h.Codec)
+	if !ok {
+		return nil, nil, &codec.UnknownCodecError{Codec: h.Codec}
 	}
+	return eng.DecompressInto(dst, container, gpu.Options{
+		Device: p.Device, ThreadsPerBlock: p.ThreadsPerBlock, HostWorkers: workers,
+		Injector: p.Injector, Obs: p.Obs, Context: ctx,
+	})
+}
+
+// ErrUnknownCodec re-exports the registry's sentinel: Decompress (and the
+// streaming Reader) return an error matching it — and carrying the codec
+// value via *codec.UnknownCodecError — when a container's codec byte is
+// structurally valid but no registered engine claims it.
+var ErrUnknownCodec = codec.ErrUnknownCodec
+
+// engineOptions maps Params onto the gpu.Options an engine consumes,
+// resolving the LZSS configuration preset that matches the engine's
+// codec family (GPU presets for V1/V2, the Dipperstein preset for the
+// bit-packed CPU codecs; bzip2 and raw take no LZSS config).
+func (p *Params) engineOptions(eng codec.Engine) (gpu.Options, error) {
+	opts := gpu.Options{
+		Device:          p.Device,
+		ChunkSize:       p.ChunkSize,
+		ThreadsPerBlock: p.ThreadsPerBlock,
+		HostWorkers:     p.HostWorkers,
+		Stats:           p.Stats,
+		Injector:        p.Injector,
+		Health:          p.Health,
+		Obs:             p.Obs,
+	}
+	var err error
+	switch eng.Codec() {
+	case format.CodecCULZSSV1:
+		opts.Config, err = p.gpuConfig(Version1)
+	case format.CodecCULZSSV2:
+		opts.Config, err = p.gpuConfig(Version2)
+	case format.CodecSerialBitPacked, format.CodecChunkedBitPacked:
+		opts.Config, err = p.cpuConfig()
+	}
+	return opts, err
+}
+
+// CompressCodec compresses data with a registry engine chosen by name
+// ("v1", "v2", "cpu", "pthread", "bzip2", "raw"), or adaptively per
+// input when name is codec.Auto. Accelerated engines ride the supervised
+// dispatch ladder when Params.Health is armed, exactly like Compress.
+func CompressCodec(data []byte, name string, p Params) ([]byte, *gpu.Report, error) {
+	eng, err := resolveEngine(name, data)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts, err := p.engineOptions(eng)
+	if err != nil {
+		return nil, nil, err
+	}
+	if eng.Accelerated() {
+		cont, rep, _, err := gpu.CompressSupervised(eng, data, opts, -1, "compress")
+		return cont, rep, err
+	}
+	return eng.Compress(data, opts)
+}
+
+// resolveEngine maps a StreamOptions.Codec / CLI codec name to an engine,
+// running the adaptive selector for codec.Auto.
+func resolveEngine(name string, data []byte) (codec.Engine, error) {
+	if name == codec.Auto {
+		return codec.Select(data), nil
+	}
+	eng, ok := codec.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown codec %q (registered: %v, or %q)", name, codec.Names(), codec.Auto)
+	}
+	return eng, nil
 }
 
 // CompressFile is the standalone I/O mode: it reads src, compresses with

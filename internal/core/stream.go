@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"culzss/internal/codec"
 	"culzss/internal/format"
 	"culzss/internal/gpu"
 	"culzss/internal/health"
@@ -48,6 +49,13 @@ type writerMetrics struct {
 	bytesIn  *obs.Counter
 	bytesOut *obs.Counter
 	tracer   *obs.Tracer
+
+	// reg and byCodec back the per-codec segment counter
+	// (culzss_segments_total{codec=}): series materialise lazily, on the
+	// first segment a codec actually emits, so a fixed-codec stream
+	// exports exactly one series. Touched only by the emitter goroutine.
+	reg     *obs.Registry
+	byCodec map[format.Codec]*obs.Counter
 }
 
 func newWriterMetrics(reg *obs.Registry) writerMetrics {
@@ -60,6 +68,7 @@ func newWriterMetrics(reg *obs.Registry) writerMetrics {
 	reg.SetHelp("culzss_writer_errors_total", "Segments that failed the stream.")
 	reg.SetHelp("culzss_writer_bytes_in_total", "Plaintext bytes of emitted segments.")
 	reg.SetHelp("culzss_writer_bytes_out_total", "Framed compressed bytes written (segment frames only).")
+	reg.SetHelp("culzss_segments_total", "Segments emitted, labelled by the codec that encoded them.")
 	return writerMetrics{
 		segments: reg.Counter("culzss_writer_segments_total"),
 		retries:  reg.Counter("culzss_writer_retries_total"),
@@ -68,7 +77,29 @@ func newWriterMetrics(reg *obs.Registry) writerMetrics {
 		bytesIn:  reg.Counter("culzss_writer_bytes_in_total"),
 		bytesOut: reg.Counter("culzss_writer_bytes_out_total"),
 		tracer:   reg.Tracer(),
+		reg:      reg,
 	}
+}
+
+// segmentsFor returns the per-codec segment counter, materialising the
+// labelled series on first use. Emitter goroutine only.
+func (m *writerMetrics) segmentsFor(c format.Codec) *obs.Counter {
+	if m.reg == nil {
+		return nil
+	}
+	if ctr, ok := m.byCodec[c]; ok {
+		return ctr
+	}
+	label := c.String()
+	if eng, ok := codec.Lookup(c); ok {
+		label = eng.Name() // the registry's short name, matching the CLI flag
+	}
+	ctr := m.reg.Counter("culzss_segments_total", obs.L("codec", label))
+	if m.byCodec == nil {
+		m.byCodec = make(map[format.Codec]*obs.Counter)
+	}
+	m.byCodec[c] = ctr
+	return ctr
 }
 
 // readerMetrics is the Reader-side counterpart. Counters increment at
@@ -165,6 +196,43 @@ type StreamOptions struct {
 	// bytes. Without it, cancellation abandons in-flight work and Close
 	// reports the context's error.
 	DrainOnCancel bool
+	// Codec selects the segment engine by registry name ("v1", "v2",
+	// "cpu", "pthread", "bzip2", "raw"), or codec.Auto for the adaptive
+	// per-segment selector (a cheap sample probe picks V2, V1, or
+	// raw-store segment by segment). Each segment's choice is recorded in
+	// its embedded container's codec byte — the frame layer carries no
+	// extra state, so any Reader dispatches per frame. "" keeps the legacy
+	// routing through Params.Version, byte-identical to previous releases.
+	Codec string
+	// OnSegment, when non-nil, observes every emitted segment frame in
+	// stream order from the emitter goroutine — the Writer-side mirror of
+	// ReaderOptions.OnSegment. The bench harness uses it to collect
+	// per-segment codec choices and device reports without re-reading the
+	// stream. It must not block: the emitter is the pipeline's only
+	// in-order stage.
+	OnSegment func(SegmentReport)
+}
+
+// SegmentReport describes one emitted segment frame, delivered through
+// StreamOptions.OnSegment in stream order.
+type SegmentReport struct {
+	// Index is the segment's frame index.
+	Index int
+	// RawLen is the segment's plaintext length.
+	RawLen int
+	// FrameLen is the encoded frame's total length (frame header
+	// included) as written to the stream.
+	FrameLen int
+	// Codec identifies the engine that encoded this segment — under
+	// StreamOptions.Codec "auto" it varies per segment.
+	Codec format.Codec
+	// Retries is the number of extra device attempts the segment consumed.
+	Retries int
+	// Degraded reports that the segment fell back to the engine's CPU twin.
+	Degraded bool
+	// Report is the device performance report; nil for host-encoded
+	// (CPU-codec, raw, or degraded) segments.
+	Report *gpu.Report
 }
 
 // ParityConfig is StreamOptions.Parity: the K+M geometry of the
@@ -216,13 +284,13 @@ type ResumeState struct {
 }
 
 // RetryPolicy bounds how hard the Writer fights for a segment before
-// giving up on the GPU path. Failures of the CPU versions are
+// giving up on the GPU path. Failures of the host engines are
 // deterministic and never retried; GPU-path failures (launch faults,
 // transfer faults, chunk faults — all of which the fault-injection layer
 // can produce) are retried with exponential backoff plus jitter, and a
-// segment that still fails after MaxAttempts degrades to the host-only
-// encoder gpu.CompressV1CPU, which emits a bit-compatible container (for
-// Version1, bit-identical), so one flaky device never kills the stream.
+// segment that still fails after MaxAttempts degrades to the engine's
+// host twin (Engine.CompressCPU), which emits a bit-identical container,
+// so one flaky device never kills the stream.
 type RetryPolicy struct {
 	// MaxAttempts is the number of GPU attempts per segment (including
 	// the first); 0 means 3.
@@ -305,8 +373,10 @@ type segJob struct {
 
 type segResult struct {
 	container []byte
-	retries   int  // extra GPU attempts this segment consumed
-	degraded  bool // segment fell back to the CPU encoder
+	codec     format.Codec // the engine that produced the container
+	rep       *gpu.Report  // device report; nil for host-encoded segments
+	retries   int          // extra GPU attempts this segment consumed
+	degraded  bool         // segment fell back to the engine's CPU twin
 	err       error
 }
 
@@ -419,6 +489,12 @@ func NewWriterOptions(dst io.Writer, p Params, o StreamOptions) *Writer {
 	}
 	if err := o.Parity.validate(); err != nil {
 		w.setErr(err)
+	}
+	if o.Codec != "" && o.Codec != codec.Auto {
+		if _, ok := codec.ByName(o.Codec); !ok {
+			w.setErr(fmt.Errorf("core: unknown codec %q (registered: %v, or %q)",
+				o.Codec, codec.Names(), codec.Auto))
+		}
 	}
 	if r := o.Resume; r != nil {
 		w.index = r.NextIndex
@@ -560,6 +636,19 @@ func (w *Writer) emitter() {
 			w.met.bytesOut.Add(int64(n))
 			if err != nil {
 				w.setErr(fmt.Errorf("core: writing segment frame %d: %w", job.index, err))
+			} else {
+				w.met.segmentsFor(res.codec).Inc()
+				if w.opts.OnSegment != nil {
+					w.opts.OnSegment(SegmentReport{
+						Index:    job.index,
+						RawLen:   len(job.data),
+						FrameLen: n,
+						Codec:    res.codec,
+						Retries:  res.retries,
+						Degraded: res.degraded,
+						Report:   res.rep,
+					})
+				}
 			}
 		}
 		w.release(job)
@@ -604,18 +693,53 @@ func (w *Writer) release(job *segJob) {
 	job.data = nil
 }
 
+// segmentEngine resolves the engine one segment compresses with:
+// StreamOptions.Codec by registry name (codec.Auto probes the segment),
+// "" through the legacy Params.Version routing — byte-identical to
+// previous releases, including VersionAuto's V1/V2-only sampling.
+func (w *Writer) segmentEngine(data []byte) (codec.Engine, error) {
+	if name := w.opts.Codec; name != "" {
+		return resolveEngine(name, data)
+	}
+	v := w.params.Version
+	if v == VersionAuto {
+		v = SelectVersion(data)
+	}
+	var name string
+	switch v {
+	case Version1:
+		name = "v1"
+	case Version2:
+		name = "v2"
+	case VersionSerial:
+		name = "cpu"
+	case VersionParallel:
+		name = "pthread"
+	case VersionBZip2:
+		name = "bzip2"
+	default:
+		return nil, fmt.Errorf("core: unknown version %v", v)
+	}
+	eng, ok := codec.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("core: engine %q not registered", name)
+	}
+	return eng, nil
+}
+
 // compressSegment compresses segment index with the Writer's parameters,
-// optionally routing V1 through the pipelined CUDA-stream scheduler.
+// resolving the segment's engine via segmentEngine (so a stream may mix
+// codecs frame by frame under the adaptive selector).
 //
-// GPU-resolved versions run under the retry policy: a failed attempt is
+// Accelerated engines run under the retry policy: a failed attempt is
 // retried after a jittered exponential backoff, and a segment that still
-// fails after MaxAttempts degrades to the host-only gpu.CompressV1CPU
-// encoder (for Version1, a bit-identical container) unless the policy
-// forbids it. With Params.Health armed, Version1 segments additionally
-// ride the supervised device pool (per-device breakers, watchdog,
-// redispatch) inside each attempt. StreamOptions.SegmentDeadline bounds
-// the whole GPU phase; expiry degrades to the CPU encoder. CPU versions
-// fail fast — their errors are deterministic.
+// fails after MaxAttempts degrades to the engine's byte-identical host
+// twin (Engine.CompressCPU) unless the policy forbids it. With
+// Params.Health armed, accelerated segments additionally ride the
+// supervised device pool (per-device breakers, watchdog, redispatch)
+// inside each attempt. StreamOptions.SegmentDeadline bounds the whole
+// device phase; expiry degrades to the twin. Host engines (the CPU
+// codecs, bzip2, raw-store) fail fast — their errors are deterministic.
 func (w *Writer) compressSegment(index int, data []byte) segResult {
 	p := w.params
 	// Workers run concurrently; a shared SearchStats would race. Collect
@@ -625,11 +749,16 @@ func (w *Writer) compressSegment(index int, data []byte) segResult {
 		local = new(lzss.SearchStats)
 		p.Stats = local
 	}
-	v := p.Version
-	if v == VersionAuto {
-		v = SelectVersion(data)
-		p.Version = v
+
+	eng, err := w.segmentEngine(data)
+	if err != nil {
+		return segResult{err: err}
 	}
+	opts, err := p.engineOptions(eng)
+	if err != nil {
+		return segResult{err: err}
+	}
+	opts.HostWorkers = 1 // the segment pipeline is the host parallelism
 
 	merge := func() {
 		if local != nil {
@@ -639,19 +768,17 @@ func (w *Writer) compressSegment(index int, data []byte) segResult {
 		}
 	}
 
-	if v != Version1 && v != Version2 {
-		pp := p
-		pp.HostWorkers = 1 // the segment pipeline is the host parallelism
-		out, err := Compress(data, pp)
+	if !eng.Accelerated() {
+		out, rep, err := eng.Compress(data, opts)
 		if err == nil {
 			merge()
 		}
-		return segResult{container: out, err: err}
+		return segResult{container: out, codec: eng.Codec(), rep: rep, err: err}
 	}
 
-	// The segment context bounds the whole GPU phase: every attempt, the
-	// backoff sleeps, and (supervised) the redispatch ladder. Expiry does
-	// not fail the segment — it routes to the CPU degrade below.
+	// The segment context bounds the whole device phase: every attempt,
+	// the backoff sleeps, and (supervised) the redispatch ladder. Expiry
+	// does not fail the segment — it routes to the CPU degrade below.
 	segCtx := w.ctx
 	cancel := func() {}
 	if d := w.opts.SegmentDeadline; d > 0 {
@@ -661,7 +788,7 @@ func (w *Writer) compressSegment(index int, data []byte) segResult {
 
 	// abortErr classifies a cancellation: non-nil means the segment must
 	// fail with it (the stream context is done and drain is off); nil
-	// means the GPU phase merely ended (segment deadline expired, or
+	// means the device phase merely ended (segment deadline expired, or
 	// drain mode) and the segment should degrade.
 	abortErr := func() error {
 		if w.ctxErr() != nil && !w.opts.DrainOnCancel {
@@ -671,46 +798,34 @@ func (w *Writer) compressSegment(index int, data []byte) segResult {
 	}
 
 	supDegraded := false
+	var rep *gpu.Report
 	attempt := func() ([]byte, error) {
 		if local != nil {
 			*local = lzss.SearchStats{} // drop stats from a failed attempt
 		}
-		if v == Version1 {
-			cfg, cfgErr := p.gpuConfig(Version1)
-			if cfgErr != nil {
-				return nil, cfgErr
-			}
-			opts := gpu.Options{
-				Device:          p.Device,
-				ChunkSize:       p.ChunkSize,
-				ThreadsPerBlock: p.ThreadsPerBlock,
-				Config:          cfg,
-				HostWorkers:     1,
-				Stats:           local,
-				Injector:        p.Injector,
-				Context:         segCtx,
-				Health:          p.Health,
-				Obs:             p.Obs,
-			}
-			if w.opts.GPUStreams > 1 {
-				// The slice scheduler consults opts.Health internally.
-				out, _, err := gpu.CompressV1Streamed(data, opts, w.opts.GPUStreams)
-				return out, err
-			}
-			if p.Health != nil {
-				out, _, degraded, err := gpu.CompressV1Supervised(
-					data, opts, index%p.Health.Devices(), fmt.Sprintf("segment %d", index))
-				if err == nil {
-					supDegraded = degraded
-				}
-				return out, err
-			}
-			out, _, err := gpu.CompressV1(data, opts)
+		rep = nil
+		aopts := opts
+		aopts.Context = segCtx
+		if w.opts.GPUStreams > 1 && eng.Codec() == format.CodecCULZSSV1 {
+			// The slice scheduler consults opts.Health internally. It is
+			// V1-specific (its copy/execute schedule models the
+			// chunk-per-thread kernel), so other codecs take the plain path.
+			out, r, err := gpu.CompressV1Streamed(data, aopts, w.opts.GPUStreams)
+			rep = r
 			return out, err
 		}
-		pp := p
-		pp.HostWorkers = 1
-		return Compress(data, pp)
+		if p.Health != nil {
+			out, r, degraded, err := gpu.CompressSupervised(
+				eng, data, aopts, index%p.Health.Devices(), fmt.Sprintf("segment %d", index))
+			if err == nil {
+				supDegraded = degraded
+				rep = r
+			}
+			return out, err
+		}
+		out, r, err := eng.Compress(data, aopts)
+		rep = r
+		return out, err
 	}
 
 	pol := w.opts.Retry
@@ -728,7 +843,8 @@ func (w *Writer) compressSegment(index int, data []byte) segResult {
 		out, err := attempt()
 		if err == nil {
 			merge()
-			return segResult{container: out, retries: retries, degraded: supDegraded}
+			return segResult{container: out, codec: eng.Codec(), rep: rep,
+				retries: retries, degraded: supDegraded}
 		}
 		lastErr = err
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -753,28 +869,24 @@ func (w *Writer) compressSegment(index int, data []byte) segResult {
 		return segResult{retries: retries,
 			err: fmt.Errorf("core: gpu path failed after %d attempts: %w", maxAttempts, lastErr)}
 	}
-	// Degrade: host-only encoder, zero device fault sites. The container
-	// uses the same chunking and config, so it decodes through the
-	// ordinary chunk-parallel path.
-	cfg, cfgErr := p.gpuConfig(v)
-	if cfgErr != nil {
-		return segResult{retries: retries, err: lastErr}
-	}
 	if local != nil {
 		*local = lzss.SearchStats{}
 	}
-	// Under graceful drain the stream context may already be cancelled;
-	// the fallback still runs to completion so Close can emit a trailer
+	// Degrade: the engine's host twin, zero device fault sites. The twin
+	// emits the same container bytes as the device path, so mixed streams
+	// stay parity-consistent and decode through the ordinary path. Under
+	// graceful drain the stream context may already be cancelled; the
+	// fallback still runs to completion so Close can emit a trailer
 	// covering every accepted byte (only reachable with DrainOnCancel —
 	// otherwise a cancelled stream returned above).
 	fbCtx := w.ctx
 	if w.ctxErr() != nil {
 		fbCtx = context.Background()
 	}
-	out, err := gpu.CompressV1CPU(data, gpu.Options{
+	out, err := eng.CompressCPU(data, gpu.Options{
 		ChunkSize:       p.ChunkSize,
 		ThreadsPerBlock: p.ThreadsPerBlock,
-		Config:          cfg,
+		Config:          opts.Config,
 		HostWorkers:     1,
 		Stats:           local,
 		Context:         fbCtx,
@@ -784,7 +896,7 @@ func (w *Writer) compressSegment(index int, data []byte) segResult {
 			err: fmt.Errorf("core: cpu fallback after gpu failure (%v): %w", lastErr, err)}
 	}
 	merge()
-	return segResult{container: out, retries: retries, degraded: true}
+	return segResult{container: out, codec: eng.Codec(), retries: retries, degraded: true}
 }
 
 // sleepBackoff sleeps the jittered exponential delay before retry number

@@ -1,0 +1,118 @@
+package durable
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"culzss/internal/codec"
+	"culzss/internal/core"
+	"culzss/internal/datasets"
+	"culzss/internal/format"
+)
+
+// streamCodecs counts a framed stream's segment frames per embedded
+// container codec byte.
+func streamCodecs(t *testing.T, stream []byte) map[format.Codec]int {
+	t.Helper()
+	fr, err := format.NewFrameReader(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[format.Codec]int{}
+	for {
+		frame, trailer, err := fr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trailer != nil {
+			return out
+		}
+		h, _, err := format.ParseHeader(frame.Container)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[h.Codec]++
+	}
+}
+
+// TestResumeCodecStreams pins resume for the codec-routed streams the
+// legacy crash tests never produced: a fixed V2 stream and an adaptive
+// (auto) stream mixing V2, V1, and raw-store frames. A crash-interrupted
+// run must resume into a file byte-identical to the uninterrupted one —
+// the selector re-derives each segment's engine from the same bytes, and
+// every engine's encoder is deterministic.
+func TestResumeCodecStreams(t *testing.T) {
+	const seg = 8 << 10
+	// Mixed compressibility so "auto" genuinely mixes codecs: text (V2
+	// territory), log-like repetition (V1), and an incompressible tail
+	// (raw-store).
+	input := datasets.CFiles(3*seg, 41)
+	input = append(input, datasets.HighlyCompressible(3*seg, 42)...)
+	tail := make([]byte, 3*seg-seg/2)
+	rand.New(rand.NewSource(43)).Read(tail)
+	input = append(input, tail...)
+
+	for _, name := range []string{"v2", codec.Auto} {
+		t.Run(name, func(t *testing.T) {
+			sopts := core.StreamOptions{SegmentSize: seg, Codec: name}
+			p := core.Params{}
+			var refBuf bytes.Buffer
+			w := core.NewWriterOptions(&refBuf, p, sopts)
+			if _, err := w.Write(input); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			full := refBuf.Bytes()
+			mix := streamCodecs(t, full)
+			if name == "v2" {
+				if len(mix) != 1 || mix[format.CodecCULZSSV2] == 0 {
+					t.Fatalf("fixed v2 stream carries codec mix %v", mix)
+				}
+			} else if len(mix) < 2 {
+				t.Fatalf("adaptive stream was meant to mix codecs, got %v", mix)
+			}
+
+			bounds := boundaries(t, full)
+			// A clean frame-boundary cut, a mid-stream one, and a torn cut
+			// inside the final record.
+			cuts := []int{int(bounds[2]), int(bounds[len(bounds)/2]), int(bounds[len(bounds)-2]) + 3}
+			for _, cut := range cuts {
+				t.Run(fmt.Sprint(cut), func(t *testing.T) {
+					dir := t.TempDir()
+					path := filepath.Join(dir, "out.clzs")
+					writePartial(t, path, full[:cut])
+					w, rep, err := Resume(path, p, Options{Stream: sopts})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if w == nil {
+						t.Fatal("complete stream from a strict prefix")
+					}
+					if _, err := w.Write(input[rep.TotalLen:]); err != nil {
+						t.Fatal(err)
+					}
+					if err := w.Close(); err != nil {
+						t.Fatal(err)
+					}
+					got, err := os.ReadFile(path)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, full) {
+						t.Fatalf("resumed %s stream differs from uninterrupted run (%d vs %d bytes)",
+							name, len(got), len(full))
+					}
+					if back := decodeFile(t, path, core.Params{}); !bytes.Equal(back, input) {
+						t.Fatal("resumed stream does not decode to the input")
+					}
+				})
+			}
+		})
+	}
+}

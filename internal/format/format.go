@@ -57,7 +57,20 @@ const (
 	CodecCULZSSV2 Codec = 4
 	// CodecBZip2 is the bzip2-style pipeline (RLE1+BWT+MTF+RLE2+Huffman).
 	CodecBZip2 Codec = 5
+	// CodecStoreRaw stores the payload uncompressed (single chunk, the
+	// plaintext verbatim). The streaming writer's adaptive selector emits
+	// it for segments that would expand under LZSS: the only cost is the
+	// container header.
+	CodecStoreRaw Codec = 6
 )
+
+// CodecMax is the highest structurally valid codec value. The range
+// above CodecStoreRaw is headroom for pluggable engines: ParseHeader
+// accepts those values (the container is structurally sound — the codec
+// byte is an open namespace, not a closed enum), and decode dispatch
+// fails with a typed unknown-codec error when no registered engine
+// claims the value. Values above CodecMax are treated as corruption.
+const CodecMax Codec = 15
 
 // String implements fmt.Stringer for diagnostics and table rendering.
 func (c Codec) String() string {
@@ -72,14 +85,25 @@ func (c Codec) String() string {
 		return "culzss-v2"
 	case CodecBZip2:
 		return "bzip2"
+	case CodecStoreRaw:
+		return "store-raw"
 	default:
 		return fmt.Sprintf("codec(%d)", uint8(c))
 	}
 }
 
-// Valid reports whether c is a known codec.
+// Valid reports whether c is structurally valid — in the codec byte's
+// assigned-or-reserved range [1, CodecMax]. A valid value is not
+// necessarily decodable: whether an engine claims it is a registry
+// question (internal/codec), answered at decode dispatch.
 func (c Codec) Valid() bool {
-	return c >= CodecSerialBitPacked && c <= CodecBZip2
+	return c >= CodecSerialBitPacked && c <= CodecMax
+}
+
+// Known reports whether c is a codec this repository assigns (as opposed
+// to a reserved headroom value that merely parses).
+func (c Codec) Known() bool {
+	return c >= CodecSerialBitPacked && c <= CodecStoreRaw
 }
 
 // Errors returned by ParseHeader and Validate.

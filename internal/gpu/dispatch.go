@@ -11,17 +11,54 @@ import (
 // shard-producing entry points (CompressV1MultiGPU, CompressV1Hybrid,
 // CompressV1Streamed, and core.Writer's segment loop) and the
 // health.Supervisor's device pool. One piece of work (a shard, a slice, a
-// segment) flows through dispatchV1:
+// segment) flows through dispatch, parameterized by the Engine that
+// does the encoding:
 //
 //	Acquire a healthy device (preferring the work's home slot for
-//	locality) -> Run the V1 kernel under the watchdog -> on failure mark
-//	the device's breaker, exclude it, and redispatch to a sibling -> when
-//	every device is quarantined or excluded, degrade to the
-//	byte-identical CompressV1CPU encoder.
+//	locality) -> Run the engine's kernel under the watchdog -> on failure
+//	mark the device's breaker, exclude it, and redispatch to a sibling ->
+//	when every device is quarantined or excluded, degrade to the engine's
+//	byte-identical CPU twin.
 //
 // The caller always gets either a valid container or an error that means
 // "the caller cancelled" or "even the CPU could not encode this" — a sick
 // device never surfaces as a shard failure.
+
+// Engine is the minimal compress-engine shape the supervised ladder
+// dispatches over: a device-path entry point and its byte-identical
+// host twin for the degrade tail. internal/codec's richer Engine
+// interface satisfies it structurally, so any registered codec can ride
+// the same ladder.
+type Engine interface {
+	Compress(data []byte, opts Options) ([]byte, *Report, error)
+	CompressCPU(data []byte, opts Options) ([]byte, error)
+}
+
+// EngineV1 adapts the Version 1 entry points to the Engine shape.
+type EngineV1 struct{}
+
+// Compress runs the V1 kernel.
+func (EngineV1) Compress(data []byte, opts Options) ([]byte, *Report, error) {
+	return CompressV1(data, opts)
+}
+
+// CompressCPU runs V1's bit-identical host twin.
+func (EngineV1) CompressCPU(data []byte, opts Options) ([]byte, error) {
+	return CompressV1CPU(data, opts)
+}
+
+// EngineV2 adapts the Version 2 entry points to the Engine shape.
+type EngineV2 struct{}
+
+// Compress runs the V2 kernel.
+func (EngineV2) Compress(data []byte, opts Options) ([]byte, *Report, error) {
+	return CompressV2(data, opts)
+}
+
+// CompressCPU runs V2's bit-identical host twin.
+func (EngineV2) CompressCPU(data []byte, opts Options) ([]byte, error) {
+	return CompressV2CPU(data, opts)
+}
 
 // dispatchResult is one supervised dispatch outcome.
 type dispatchResult struct {
@@ -40,37 +77,51 @@ type dispatchResult struct {
 	TimedOut int
 }
 
-// CompressV1Supervised is the exported face of the supervised dispatch
+// CompressSupervised is the exported face of the supervised dispatch
 // ladder for a single piece of work (a core.Writer segment, a one-shot
-// API call). Without a supervisor it is plain CompressV1; with one, the
-// work rides the pool with redispatch and CPU degrade. home is the
-// preferred pool slot (-1 for round-robin); op names the work in watchdog
-// timeouts. degraded reports a CPU-fallback encode (rep is then nil; the
-// container bytes are identical either way).
-func CompressV1Supervised(data []byte, opts Options, home int, op string) (container []byte, rep *Report, degraded bool, err error) {
+// API call) under any engine. Without a supervisor it is the engine's
+// plain device path; with one, the work rides the pool with redispatch
+// and CPU degrade. home is the preferred pool slot (-1 for round-robin);
+// op names the work in watchdog timeouts. degraded reports a
+// CPU-fallback encode (rep is then nil; the container bytes are
+// identical either way).
+func CompressSupervised(e Engine, data []byte, opts Options, home int, op string) (container []byte, rep *Report, degraded bool, err error) {
 	if opts.Health == nil {
-		container, rep, err = CompressV1(data, opts)
+		container, rep, err = e.Compress(data, opts)
 		return container, rep, false, err
 	}
-	res, err := dispatchV1(opts.Health, data, opts, home, op)
+	res, err := dispatch(e, opts.Health, data, opts, home, op)
 	return res.Container, res.Report, res.Degraded, err
 }
 
-// dispatchV1 compresses data with the V1 kernel over sup's device pool.
-// home is the preferred pool slot (locality hint; -1 for round-robin); op
-// names the work in watchdog timeouts ("shard 3", "segment 12"). See the
-// file comment for the dispatch ladder. The returned error is non-nil
-// only for caller cancellation or a CPU-fallback failure.
-func dispatchV1(sup *health.Supervisor, data []byte, opts Options, home int, op string) (dispatchResult, error) {
+// CompressV1Supervised is CompressSupervised under the V1 engine — kept
+// as the named entry point the pre-codec callers (multi-GPU, hybrid,
+// streamed schedulers) dispatch through.
+func CompressV1Supervised(data []byte, opts Options, home int, op string) (container []byte, rep *Report, degraded bool, err error) {
+	return CompressSupervised(EngineV1{}, data, opts, home, op)
+}
+
+// CompressV2Supervised is CompressSupervised under the V2 engine: the
+// match-per-thread kernel with redispatch and a degrade tail that lands
+// on CompressV2CPU, V2's own byte-identical twin.
+func CompressV2Supervised(data []byte, opts Options, home int, op string) (container []byte, rep *Report, degraded bool, err error) {
+	return CompressSupervised(EngineV2{}, data, opts, home, op)
+}
+
+// dispatch compresses data with e over sup's device pool. home is the
+// preferred pool slot (locality hint; -1 for round-robin); op names the
+// work in watchdog timeouts ("shard 3", "segment 12"). See the file
+// comment for the dispatch ladder. The returned error is non-nil only
+// for caller cancellation or a CPU-fallback failure.
+func dispatch(e Engine, sup *health.Supervisor, data []byte, opts Options, home int, op string) (dispatchResult, error) {
 	sp := opts.Obs.Tracer().Start(op, "dispatch")
-	res, err := dispatchV1Pool(sup, data, opts, home, op)
+	res, err := dispatchPool(e, sup, data, opts, home, op)
 	observeDispatch(opts.Obs, op, res, err, sp)
 	return res, err
 }
 
-// dispatchV1Pool is dispatchV1's pool walk, free of observability
-// concerns.
-func dispatchV1Pool(sup *health.Supervisor, data []byte, opts Options, home int, op string) (dispatchResult, error) {
+// dispatchPool is dispatch's pool walk, free of observability concerns.
+func dispatchPool(e Engine, sup *health.Supervisor, data []byte, opts Options, home int, op string) (dispatchResult, error) {
 	res := dispatchResult{Device: -1}
 	ctx := opts.Context
 	if ctx == nil {
@@ -99,7 +150,7 @@ func dispatchV1Pool(sup *health.Supervisor, data []byte, opts Options, home int,
 		ksp := opts.Obs.Tracer().Start(op, "kernel").SetDevice(id)
 		runErr := sup.Run(ctx, id, op, func(runCtx context.Context) error {
 			attempt.Context = runCtx
-			c, r, err := CompressV1(data, attempt)
+			c, r, err := e.Compress(data, attempt)
 			if err != nil {
 				return err
 			}
@@ -123,12 +174,12 @@ func dispatchV1Pool(sup *health.Supervisor, data []byte, opts Options, home int,
 		sup.NoteRedispatch()
 	}
 
-	// Degrade: the byte-identical host encoder. It sees the caller's
-	// context (not a watchdog deadline — the host path has no hung-kernel
-	// mode to guard against).
+	// Degrade: the engine's byte-identical host twin. It sees the
+	// caller's context (not a watchdog deadline — the host path has no
+	// hung-kernel mode to guard against).
 	cpu := opts
 	cpu.Context = ctx
-	cont, err := CompressV1CPU(data, cpu)
+	cont, err := e.CompressCPU(data, cpu)
 	if err != nil {
 		if lastErr != nil {
 			return res, fmt.Errorf("gpu: %s: pool exhausted (last device error: %v); cpu fallback: %w", op, lastErr, err)

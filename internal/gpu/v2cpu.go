@@ -1,0 +1,129 @@
+package gpu
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"culzss/internal/format"
+	"culzss/internal/lzss"
+)
+
+// CompressV2CPU is Version 2's degrade twin: a host-only encoder that
+// produces a container bit-identical to CompressV2's — the same
+// per-position match records from the same tiled window search, the same
+// serial greedy post-pass, the same CodecCULZSSV2 header — without
+// touching the simulated device, so no launch, transfer, or chunk fault
+// site can fire. It is what the supervised dispatch ladder falls back to
+// when every device is quarantined, mirroring CompressV1CPU for V1.
+//
+// Bit-identity matters: a stream may mix device-encoded and degraded
+// segments, and the two must be indistinguishable to the Reader and to
+// parity reconstruction (which covers exact frame bytes).
+func CompressV2CPU(data []byte, opts Options) ([]byte, error) {
+	opts.fill(format.CodecCULZSSV2)
+	if err := opts.ctxErr(); err != nil {
+		return nil, err
+	}
+	cfg := opts.Config
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Window > 256 || cfg.MaxMatch-cfg.MinMatch > 255 {
+		return nil, fmt.Errorf("gpu: config %+v does not fit the 16-bit token", cfg)
+	}
+
+	chunks := format.SplitChunks(data, opts.ChunkSize)
+	tpb := opts.ThreadsPerBlock
+	streams := make([][]byte, len(chunks))
+	statsPer := make([]lzss.SearchStats, len(chunks))
+
+	workers := opts.HostWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	var rec faultRecorder
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range next {
+				if rec.tripped() {
+					continue
+				}
+				comp, err := encodeV2Chunk(chunks[ci], cfg, tpb, &statsPer[ci])
+				if err != nil {
+					rec.record(ci, fmt.Errorf("gpu: v2 cpu-fallback chunk %d: %w", ci, err))
+					continue
+				}
+				streams[ci] = comp
+			}
+		}()
+	}
+	for ci := range chunks {
+		next <- ci
+	}
+	close(next)
+	wg.Wait()
+	if err := rec.error(); err != nil {
+		return nil, err
+	}
+	if opts.Stats != nil {
+		for i := range statsPer {
+			opts.Stats.Add(statsPer[i])
+		}
+	}
+
+	container, _ := assembleContainer(format.CodecCULZSSV2, cfg, opts.ChunkSize, data, streams)
+	return container, nil
+}
+
+// encodeV2Chunk reproduces the V2 kernel's functional result for one
+// chunk: the per-position match records over the same tpb-wide tiles and
+// staging bounds as the device kernel (matches may extend into the
+// staged lookahead but never past the chunk), followed by the serial
+// greedy token-selection pass (§III.B.3).
+func encodeV2Chunk(chunk []byte, cfg lzss.Config, tpb int, st *lzss.SearchStats) ([]byte, error) {
+	matchLen := make([]uint16, len(chunk))
+	matchDist := make([]uint8, len(chunk))
+	for tile := 0; tile < len(chunk); tile += tpb {
+		lo := tile - cfg.Window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := tile + tpb + cfg.MaxMatch
+		if hi > len(chunk) {
+			hi = len(chunk)
+		}
+		region := chunk[lo:hi]
+		for pos := tile; pos < tile+tpb && pos < len(chunk); pos++ {
+			sPos := pos - lo
+			m := lzss.LongestMatch(region, sPos, sPos-cfg.Window, &cfg, st)
+			matchLen[pos] = uint16(m.Length)
+			matchDist[pos] = uint8(max(m.Distance-1, 0))
+		}
+	}
+
+	w := lzss.NewByteAlignedWriter(&cfg, len(chunk)/2+16)
+	for pos := 0; pos < len(chunk); {
+		l := int(matchLen[pos])
+		if l >= cfg.MinMatch {
+			if err := w.Match(lzss.Match{
+				Distance: int(matchDist[pos]) + 1,
+				Length:   l,
+			}); err != nil {
+				return nil, err
+			}
+			pos += l
+		} else {
+			w.Literal(chunk[pos])
+			pos++
+		}
+	}
+	return w.Bytes(), nil
+}

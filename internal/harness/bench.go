@@ -8,9 +8,10 @@ import (
 )
 
 // Bench-regression reports. cubench -json serializes a compression run
-// (plus the Reader decode-pipeline cells) as one BenchReport; a
-// committed baseline (BENCH_9.json at the repo root) plus cubench
-// -against turns any later run into a regression gate. The reports are meant to ride the Modeled timing basis: every
+// (plus the Reader decode-pipeline and Writer codec-routing cells) as
+// one BenchReport; a committed baseline (BENCH_10.json at the repo
+// root) plus cubench -against turns any later run into a regression
+// gate. The reports are meant to ride the Modeled timing basis: every
 // number derives from operation counters and the simulator's schedule,
 // so a >tolerance delta is a real change in the code's work, not host
 // noise.
